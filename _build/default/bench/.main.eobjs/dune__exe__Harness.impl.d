@@ -1,0 +1,1 @@
+bench/harness.ml: Bft_core Bft_net Bft_sim Bft_sm Bft_util Client Cluster Int64 List Printf String

@@ -1,0 +1,73 @@
+(* Shared measurement helpers for the benchmark suite. All latencies and
+   durations are in microseconds of virtual time. *)
+
+module Engine = Bft_sim.Engine
+open Bft_core
+
+let default_costs = Bft_net.Costs.default
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  flush stdout
+
+let subsection title =
+  Printf.printf "\n-- %s --\n" title;
+  flush stdout
+
+let row fmt = Printf.ksprintf (fun s -> print_string s; print_newline (); flush stdout) fmt
+
+(* Median latency of [samples] isolated requests after [warmup] ops. *)
+let latency ?(costs = default_costs) ?(seed = 42L) ?(warmup = 3) ?(samples = 15)
+    ?(service = fun () -> Bft_sm.Null_service.create ()) ?(read_only = false) ~cfg op =
+  let c = Cluster.create ~seed ~costs ~service ~num_clients:1 cfg in
+  for _ = 1 to warmup do
+    ignore
+      (Cluster.invoke_sync ~timeout_us:300_000_000.0 c ~client:0
+         (Bft_sm.Null_service.op ~read_only:false ~arg_size:0 ~result_size:0))
+  done;
+  let stats = Bft_util.Stats.create () in
+  for _ = 1 to samples do
+    let _, l = Cluster.invoke_sync_latency ~timeout_us:300_000_000.0 c ~client:0 ~read_only op in
+    Bft_util.Stats.add stats l
+  done;
+  Bft_util.Stats.median stats
+
+(* Saturation throughput with [clients] closed-loop clients issuing [op]
+   for [duration_us] of virtual time (after a warmup window). *)
+let throughput ?(costs = default_costs) ?(seed = 42L)
+    ?(service = fun () -> Bft_sm.Null_service.create ()) ?(read_only = false)
+    ?(duration_us = 300_000.0) ?(warmup_us = 50_000.0) ~cfg ~clients op =
+  let c = Cluster.create ~seed ~costs ~service ~num_clients:clients cfg in
+  let completed = ref 0 in
+  let rec pump k ~result:_ ~latency_us:_ =
+    incr completed;
+    Client.invoke (Cluster.client c k) ~read_only ~op (pump k)
+  in
+  for k = 0 to clients - 1 do
+    Client.invoke (Cluster.client c k) ~read_only ~op (pump k)
+  done;
+  Cluster.run ~timeout_us:warmup_us c;
+  let base = !completed in
+  let t0 = Engine.now (Cluster.engine c) in
+  Engine.run ~until:(Int64.add t0 (Engine.of_us_float duration_us)) (Cluster.engine c);
+  let elapsed = Engine.to_us (Int64.sub (Engine.now (Cluster.engine c)) t0) in
+  float_of_int (!completed - base) *. 1_000_000.0 /. elapsed
+
+let pct_slower bft base = 100.0 *. ((bft /. base) -. 1.0)
+
+(* Closed-loop execution of a scripted workload with per-step client think
+   time; returns total virtual milliseconds. *)
+let run_script_ms ~invoke ~engine ~think_us steps =
+  let t0 = Engine.now engine in
+  List.iter
+    (fun step ->
+      invoke step;
+      if think_us > 0.0 then begin
+        (* client-side computation between operations: a dummy event pins
+           the clock to the think-time deadline *)
+        let target = Int64.add (Engine.now engine) (Engine.of_us_float think_us) in
+        ignore (Engine.schedule_at engine target (fun () -> ()));
+        Engine.run ~until:target engine
+      end)
+    steps;
+  Engine.to_ms (Int64.sub (Engine.now engine) t0)

@@ -1,0 +1,221 @@
+(* bftctl: command-line driver for the BFT simulator.
+
+   Subcommands run self-contained scenarios:
+     run        closed-loop clients against a replicated service
+     latency    single-request latency for an arg/result size point
+     andrew     the Andrew-like BFS workload, replicated vs unreplicated
+     viewchange kill the primary under load, report failover latency
+     recover    corrupt a replica and run proactive recovery
+     model      print analytic performance-model predictions *)
+
+open Cmdliner
+open Bft_core
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable protocol debug logging.")
+
+let f_arg =
+  Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Faults tolerated; n = 3f+1.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let auth_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mac", Config.Mac_auth); ("sig", Config.Sig_auth) ]) Config.Mac_auth
+    & info [ "auth" ] ~doc:"mac (BFT) or sig (BFT-PK).")
+
+let service_arg =
+  Arg.(
+    value
+    & opt (enum [ ("null", `Null); ("counter", `Counter); ("kv", `Kv); ("bfs", `Bfs) ]) `Kv
+    & info [ "service" ] ~doc:"Replicated service: null, counter, kv, bfs.")
+
+let make_service = function
+  | `Null -> fun () -> Bft_sm.Null_service.create ()
+  | `Counter -> fun () -> Bft_sm.Counter_service.create ()
+  | `Kv -> fun () -> Bft_sm.Kv_service.create ()
+  | `Bfs -> fun () -> Bft_bfs.Bfs_service.create ()
+
+let mk_cluster ~f ~seed ~auth ~service ~clients =
+  let cfg = Config.make ~auth_mode:auth ~f () in
+  (cfg, Cluster.create ~seed:(Int64.of_int seed) ~service:(make_service service) ~num_clients:clients cfg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let ops_arg = Arg.(value & opt int 100 & info [ "ops" ] ~doc:"Operations per client.") in
+  let clients_arg = Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Closed-loop clients.") in
+  let run verbose f seed auth service ops clients =
+    setup_logs verbose;
+    let _, c = mk_cluster ~f ~seed ~auth ~service ~clients in
+    let stats = Bft_util.Stats.create () in
+    let t0 = Bft_sim.Engine.now (Cluster.engine c) in
+    for round = 1 to ops do
+      for k = 0 to clients - 1 do
+        let op =
+          match service with
+          | `Counter -> "inc"
+          | `Kv -> Printf.sprintf "put key%d-%d value%d" k round round
+          | `Null -> Bft_sm.Null_service.op ~read_only:false ~arg_size:16 ~result_size:16
+          | `Bfs -> Printf.sprintf "create 1 f%d-%d" k round
+        in
+        let _, l = Cluster.invoke_sync_latency ~timeout_us:60_000_000.0 c ~client:k op in
+        Bft_util.Stats.add stats l
+      done
+    done;
+    let elapsed = Bft_sim.Engine.to_ms (Int64.sub (Bft_sim.Engine.now (Cluster.engine c)) t0) in
+    Printf.printf "completed %d ops in %.1f virtual ms\n" (ops * clients) elapsed;
+    Printf.printf "latency (us): %s\n" (Bft_util.Stats.summary stats);
+    Printf.printf "histories consistent: %b\n" (Cluster.committed_histories_consistent c)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run closed-loop clients against a replicated service.")
+    Term.(const run $ verbose $ f_arg $ seed_arg $ auth_arg $ service_arg $ ops_arg $ clients_arg)
+
+(* --- latency --- *)
+
+let latency_cmd =
+  let arg_size = Arg.(value & opt int 0 & info [ "arg" ] ~doc:"Argument bytes.") in
+  let res_size = Arg.(value & opt int 0 & info [ "result" ] ~doc:"Result bytes.") in
+  let ro = Arg.(value & flag & info [ "read-only" ] ~doc:"Use the read-only optimization.") in
+  let run verbose f seed auth arg_size res_size ro =
+    setup_logs verbose;
+    let cfg = Config.make ~auth_mode:auth ~f () in
+    let c = Cluster.create ~seed:(Int64.of_int seed) ~num_clients:1 cfg in
+    ignore (Cluster.invoke_sync ~timeout_us:120_000_000.0 c ~client:0 (Bft_sm.Null_service.op ~read_only:false ~arg_size:0 ~result_size:0));
+    let stats = Bft_util.Stats.create () in
+    for _ = 1 to 20 do
+      let _, l =
+        Cluster.invoke_sync_latency ~timeout_us:120_000_000.0 c ~client:0 ~read_only:ro
+          (Bft_sm.Null_service.op ~read_only:ro ~arg_size ~result_size:res_size)
+      in
+      Bft_util.Stats.add stats l
+    done;
+    let w = { Bft_perf.Perf_model.arg_size; result_size = res_size; read_only = ro; batch = 1 } in
+    Printf.printf "measured: %s\n" (Bft_util.Stats.summary stats);
+    Printf.printf "model:    %.1f us\n"
+      (Bft_perf.Perf_model.latency_us ~costs:Bft_net.Costs.default ~cfg w)
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"Measure request latency and compare with the analytic model.")
+    Term.(const run $ verbose $ f_arg $ seed_arg $ auth_arg $ arg_size $ res_size $ ro)
+
+(* --- andrew --- *)
+
+let andrew_cmd =
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale (AndrewN).") in
+  let run verbose f seed auth scale =
+    setup_logs verbose;
+    let steps = Bft_bfs.Andrew.script ~scale () in
+    let cfg = Config.make ~auth_mode:auth ~f () in
+    let c =
+      Cluster.create ~seed:(Int64.of_int seed)
+        ~service:(fun () -> Bft_bfs.Bfs_service.create ())
+        ~num_clients:1 cfg
+    in
+    let t0 = Bft_sim.Engine.now (Cluster.engine c) in
+    List.iter
+      (fun (s : Bft_bfs.Andrew.step) ->
+        ignore (Cluster.invoke_sync ~timeout_us:120_000_000.0 c ~client:0 ~read_only:s.Bft_bfs.Andrew.read_only s.Bft_bfs.Andrew.op))
+      steps;
+    let bft_ms = Bft_sim.Engine.to_ms (Int64.sub (Bft_sim.Engine.now (Cluster.engine c)) t0) in
+    let b = Baseline.create ~seed:(Int64.of_int seed) ~service:(fun () -> Bft_bfs.Bfs_service.create ()) () in
+    let t0 = Bft_sim.Engine.now (Baseline.engine b) in
+    List.iter (fun (s : Bft_bfs.Andrew.step) -> ignore (Baseline.invoke_sync b ~client:0 s.Bft_bfs.Andrew.op)) steps;
+    let base_ms = Bft_sim.Engine.to_ms (Int64.sub (Bft_sim.Engine.now (Baseline.engine b)) t0) in
+    Printf.printf "andrew x%d: %d ops\n" scale (List.length steps);
+    Printf.printf "BFS (replicated):   %8.2f virtual ms\n" bft_ms;
+    Printf.printf "NFS (unreplicated): %8.2f virtual ms\n" base_ms;
+    Printf.printf "protocol overhead:  %8.1f%%\n" (100.0 *. ((bft_ms /. base_ms) -. 1.0))
+  in
+  Cmd.v (Cmd.info "andrew" ~doc:"Run the Andrew-like BFS workload, replicated vs unreplicated.")
+    Term.(const run $ verbose $ f_arg $ seed_arg $ auth_arg $ scale)
+
+(* --- viewchange --- *)
+
+let viewchange_cmd =
+  let run verbose f seed auth =
+    setup_logs verbose;
+    let cfg = Config.make ~auth_mode:auth ~vc_timeout_us:30_000.0 ~f () in
+    let c =
+      Cluster.create ~seed:(Int64.of_int seed)
+        ~service:(fun () -> Bft_sm.Counter_service.create ())
+        ~num_clients:1 cfg
+    in
+    for _ = 1 to 5 do
+      ignore (Cluster.invoke_sync ~timeout_us:60_000_000.0 c ~client:0 "inc")
+    done;
+    let t_kill = Bft_sim.Engine.now (Cluster.engine c) in
+    Bft_net.Network.crash (Cluster.network c) ~id:0;
+    let r, _ = Cluster.invoke_sync_latency ~timeout_us:60_000_000.0 c ~client:0 "inc" in
+    let t_done = Bft_sim.Engine.now (Cluster.engine c) in
+    Printf.printf "primary killed; next op result=%s\n" r;
+    Printf.printf "failover (kill -> next committed op): %.2f virtual ms\n"
+      (Bft_sim.Engine.to_ms (Int64.sub t_done t_kill));
+    Printf.printf "new view: %d\n" (Replica.view (Cluster.replica c 1))
+  in
+  Cmd.v (Cmd.info "viewchange" ~doc:"Kill the primary under load and measure failover.")
+    Term.(const run $ verbose $ f_arg $ seed_arg $ auth_arg)
+
+(* --- recover --- *)
+
+let recover_cmd =
+  let run verbose f seed =
+    setup_logs verbose;
+    let cfg = Config.make ~checkpoint_interval:8 ~f () in
+    let c =
+      Cluster.create ~seed:(Int64.of_int seed)
+        ~service:(fun () -> Bft_sm.Kv_service.create ())
+        ~num_clients:1 cfg
+    in
+    for i = 1 to 20 do
+      ignore (Cluster.invoke_sync ~timeout_us:60_000_000.0 c ~client:0 (Printf.sprintf "put k%d v%d" i i))
+    done;
+    Replica.corrupt_state (Cluster.replica c 1);
+    Replica.force_recovery (Cluster.replica c 1);
+    let t0 = Bft_sim.Engine.now (Cluster.engine c) in
+    let i = ref 20 in
+    let recovered =
+      Cluster.run_until ~timeout_us:60_000_000.0 c (fun () ->
+          if not (Client.busy (Cluster.client c 0)) then begin
+            incr i;
+            Client.invoke (Cluster.client c 0)
+              ~op:(Printf.sprintf "put k%d v%d" !i !i)
+              (fun ~result:_ ~latency_us:_ -> ())
+          end;
+          not (Replica.is_recovering (Cluster.replica c 1)))
+    in
+    Printf.printf "recovered: %b in %.1f virtual ms (%d state transfers, %d bytes fetched)\n"
+      recovered
+      (Bft_sim.Engine.to_ms (Int64.sub (Bft_sim.Engine.now (Cluster.engine c)) t0))
+      (Replica.counters (Cluster.replica c 1)).Replica.n_state_transfers
+      (Replica.counters (Cluster.replica c 1)).Replica.bytes_fetched
+  in
+  Cmd.v (Cmd.info "recover" ~doc:"Corrupt a replica's state and run proactive recovery.")
+    Term.(const run $ verbose $ f_arg $ seed_arg)
+
+(* --- model --- *)
+
+let model_cmd =
+  let run f auth =
+    let cfg = Config.make ~auth_mode:auth ~f () in
+    let costs = Bft_net.Costs.default in
+    Printf.printf "%-12s %-6s %12s %14s %s\n" "op (arg/res)" "ro" "latency(us)" "tput(ops/s)" "bottleneck";
+    List.iter
+      (fun (a, r, ro, batch) ->
+        let w = { Bft_perf.Perf_model.arg_size = a; result_size = r; read_only = ro; batch } in
+        let p = Bft_perf.Perf_model.predict ~costs ~cfg w in
+        Printf.printf "%5d/%-6d %-6b %12.1f %14.0f %s\n" a r ro
+          p.Bft_perf.Perf_model.latency_us p.Bft_perf.Perf_model.throughput_ops
+          p.Bft_perf.Perf_model.bottleneck)
+      [ (0, 0, false, 16); (0, 4096, false, 16); (4096, 0, false, 16); (0, 0, true, 1) ]
+  in
+  Cmd.v (Cmd.info "model" ~doc:"Print analytic performance-model predictions (Chapter 7).")
+    Term.(const run $ f_arg $ auth_arg)
+
+let () =
+  let info = Cmd.info "bftctl" ~version:"1.0" ~doc:"Practical Byzantine Fault Tolerance simulator." in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; latency_cmd; andrew_cmd; viewchange_cmd; recover_cmd; model_cmd ]))

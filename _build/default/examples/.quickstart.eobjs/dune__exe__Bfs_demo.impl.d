@@ -1,0 +1,1 @@
+examples/bfs_demo.ml: Bft_bfs Bft_core Bft_net Option Printf String

@@ -1,0 +1,1 @@
+examples/kvstore_cluster.ml: Bft_core Bft_net Bft_sm Printf

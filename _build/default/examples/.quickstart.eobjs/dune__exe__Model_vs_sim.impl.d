@@ -1,0 +1,1 @@
+examples/model_vs_sim.ml: Bft_core Bft_net Bft_perf Bft_sm Bft_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bft_core Bft_sm Printf

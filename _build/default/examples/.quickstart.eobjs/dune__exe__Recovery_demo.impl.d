@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Bft_core Bft_sm Printf String

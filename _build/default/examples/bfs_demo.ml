@@ -1,0 +1,59 @@
+(* BFS: the Byzantine-fault-tolerant file system of Section 6.3, driven
+   through the replicated service API — create a directory tree, write and
+   read files, and survive a crashed replica that later catches up through
+   hierarchical state transfer.
+
+   Run with: dune exec examples/bfs_demo.exe *)
+
+let () =
+  let cfg = Bft_core.Config.make ~f:1 ~checkpoint_interval:16 () in
+  let cluster =
+    Bft_core.Cluster.create ~seed:3L
+      ~service:(fun () -> Bft_bfs.Bfs_service.create ())
+      ~num_clients:1 cfg
+  in
+  let fs op = Bft_core.Cluster.invoke_sync ~timeout_us:30_000_000.0 cluster ~client:0 op in
+  let fs_ro op =
+    Bft_core.Cluster.invoke_sync ~timeout_us:30_000_000.0 cluster ~client:0 ~read_only:true op
+  in
+
+  (* build /src with a file in it *)
+  let dir_attr = fs "mkdir 1 src" in
+  Printf.printf "mkdir /src -> %s\n" dir_attr;
+  let dir = Option.get (Bft_bfs.Bfs_service.parse_attr_ino dir_attr) in
+  let file_attr = fs (Printf.sprintf "create %d hello.txt" dir) in
+  let file = Option.get (Bft_bfs.Bfs_service.parse_attr_ino file_attr) in
+  ignore (fs (Bft_bfs.Bfs_service.op_write ~ino:file ~off:0 "hello, byzantine world\n"));
+  Printf.printf "read back: %s"
+    (Bft_bfs.Bfs_service.decode_read_result (fs_ro (Bft_bfs.Bfs_service.op_read ~ino:file ~off:0 ~len:100)));
+  Printf.printf "readdir /src -> %s\n" (fs_ro (Printf.sprintf "readdir %d" dir));
+
+  (* crash replica 2, generate churn past its log window, bring it back *)
+  Bft_net.Network.crash (Bft_core.Cluster.network cluster) ~id:2;
+  for i = 0 to 39 do
+    ignore (fs (Printf.sprintf "create %d f%d" dir i))
+  done;
+  Bft_net.Network.restart (Bft_core.Cluster.network cluster) ~id:2;
+  Bft_core.Replica.crash_reboot (Bft_core.Cluster.replica cluster 2);
+  let caught_up =
+    Bft_core.Cluster.run_until ~timeout_us:10_000_000.0 cluster (fun () ->
+        Bft_core.Replica.last_executed (Bft_core.Cluster.replica cluster 2)
+        >= Bft_core.Replica.stable_checkpoint (Bft_core.Cluster.replica cluster 0))
+  in
+  let c2 = Bft_core.Replica.counters (Bft_core.Cluster.replica cluster 2) in
+  Printf.printf
+    "replica 2 rejoined: caught_up=%b via %d state transfer(s), %d bytes fetched\n"
+    caught_up c2.Bft_core.Replica.n_state_transfers c2.Bft_core.Replica.bytes_fetched;
+  (* a little more traffic lets replica 2 replay the tail beyond the
+     checkpoint it fetched *)
+  for i = 40 to 47 do
+    ignore (fs (Printf.sprintf "create %d f%d" dir i))
+  done;
+  ignore
+    (Bft_core.Cluster.run_until ~timeout_us:10_000_000.0 cluster (fun () ->
+         Bft_core.Replica.last_executed (Bft_core.Cluster.replica cluster 2)
+         >= Bft_core.Replica.last_executed (Bft_core.Cluster.replica cluster 0)));
+  Printf.printf "states identical: %b\n"
+    (String.equal
+       (Bft_core.Replica.service_state (Bft_core.Cluster.replica cluster 2))
+       (Bft_core.Replica.service_state (Bft_core.Cluster.replica cluster 0)))

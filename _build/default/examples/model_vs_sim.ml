@@ -1,0 +1,52 @@
+(* The Chapter 7 analytic performance model, validated live against the
+   simulator: for a grid of operation shapes, print the model's latency
+   prediction next to the simulated measurement, like the paper's
+   model-validation tables in Section 8.3.
+
+   Run with: dune exec examples/model_vs_sim.exe *)
+
+let () =
+  let cfg = Bft_core.Config.make ~f:1 () in
+  let costs = Bft_net.Costs.default in
+  Printf.printf "%-22s %12s %12s %8s\n" "operation" "model [us]" "sim [us]" "error";
+  List.iter
+    (fun (arg, res, ro) ->
+      let w =
+        { Bft_perf.Perf_model.arg_size = arg; result_size = res; read_only = ro; batch = 1 }
+      in
+      let predicted = Bft_perf.Perf_model.latency_us ~costs ~cfg w in
+      (* measure: median of 11 isolated requests after warmup *)
+      let cluster = Bft_core.Cluster.create ~seed:17L ~num_clients:1 cfg in
+      ignore
+        (Bft_core.Cluster.invoke_sync cluster ~client:0
+           (Bft_sm.Null_service.op ~read_only:false ~arg_size:0 ~result_size:0));
+      let stats = Bft_util.Stats.create () in
+      for _ = 1 to 11 do
+        let _, l =
+          Bft_core.Cluster.invoke_sync_latency cluster ~client:0 ~read_only:ro
+            (Bft_sm.Null_service.op ~read_only:ro ~arg_size:arg ~result_size:res)
+        in
+        Bft_util.Stats.add stats l
+      done;
+      let measured = Bft_util.Stats.median stats in
+      Printf.printf "%-22s %12.0f %12.0f %7.1f%%\n"
+        (Printf.sprintf "%db/%db%s" arg res (if ro then " ro" else ""))
+        predicted measured
+        (100.0 *. (predicted -. measured) /. measured))
+    [
+      (0, 0, false); (0, 0, true);
+      (0, 1024, false); (0, 4096, false);
+      (1024, 0, false); (4096, 0, false);
+      (512, 512, false); (0, 4096, true);
+    ];
+  print_newline ();
+  Printf.printf "throughput bottleneck analysis (batch = 16):\n";
+  List.iter
+    (fun (arg, res) ->
+      let p =
+        Bft_perf.Perf_model.predict ~costs ~cfg
+          { Bft_perf.Perf_model.arg_size = arg; result_size = res; read_only = false; batch = 16 }
+      in
+      Printf.printf "  %db/%db -> %.0f ops/s, bound by %s\n" arg res
+        p.Bft_perf.Perf_model.throughput_ops p.Bft_perf.Perf_model.bottleneck)
+    [ (0, 0); (0, 4096); (4096, 0) ]

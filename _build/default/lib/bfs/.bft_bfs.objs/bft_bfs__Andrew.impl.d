@@ -1,0 +1,1 @@
+lib/bfs/andrew.ml: Bfs_service Bft_util Fs List Printf

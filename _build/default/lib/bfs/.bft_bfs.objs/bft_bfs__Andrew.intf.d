@@ -1,0 +1,1 @@
+lib/bfs/andrew.mli:

@@ -1,0 +1,1 @@
+lib/bfs/bfs_service.ml: Bft_sm Bft_util Fs Int64 List Printf Result String

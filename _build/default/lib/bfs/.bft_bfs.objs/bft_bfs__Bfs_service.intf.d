@@ -1,0 +1,1 @@
+lib/bfs/bfs_service.mli: Bft_sm

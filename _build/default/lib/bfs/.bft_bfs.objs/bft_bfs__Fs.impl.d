@@ -1,0 +1,1 @@
+lib/bfs/fs.ml: Bft_util Buffer Bytes Hashtbl Int64 List Printf String

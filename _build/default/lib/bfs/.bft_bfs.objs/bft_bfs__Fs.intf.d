@@ -1,0 +1,1 @@
+lib/bfs/fs.mli:

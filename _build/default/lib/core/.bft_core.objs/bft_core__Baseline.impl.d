@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Bft_crypto Bft_net Bft_sim Bft_sm Bft_util Hashtbl Int64 Message Option Wire

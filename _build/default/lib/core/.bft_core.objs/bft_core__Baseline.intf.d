@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Bft_net Bft_sim Bft_sm

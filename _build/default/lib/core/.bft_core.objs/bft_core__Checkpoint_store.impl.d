@@ -1,0 +1,1 @@
+lib/core/checkpoint_store.ml: Config Hashtbl List Message Option Partition_tree String

@@ -1,0 +1,1 @@
+lib/core/checkpoint_store.mli: Config Message Partition_tree

@@ -1,0 +1,1 @@
+lib/core/client.ml: Bft_crypto Bft_net Bft_sim Bft_util Config Float Hashtbl Int64 List Message String Wire

@@ -1,0 +1,1 @@
+lib/core/client.mli: Bft_crypto Bft_net Bft_util Config Message

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Bft_crypto Bft_net Bft_sim Bft_sm Bft_util Client Config Fun Hashtbl Int64 List Message Option Printf Replica String

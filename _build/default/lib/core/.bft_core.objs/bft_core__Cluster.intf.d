@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Bft_net Bft_sim Bft_sm Client Config Message Replica

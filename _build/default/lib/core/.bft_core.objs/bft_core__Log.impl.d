@@ -1,0 +1,1 @@
+lib/core/log.ml: Config Hashtbl List Message Printf String

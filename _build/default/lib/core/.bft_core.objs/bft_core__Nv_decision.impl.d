@@ -1,0 +1,1 @@
+lib/core/nv_decision.ml: Config List Message String Wire

@@ -1,0 +1,1 @@
+lib/core/nv_decision.mli: Config Message

@@ -1,0 +1,1 @@
+lib/core/partition_tree.ml: Array Bft_crypto Buffer List String

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Bft_crypto Bft_net Bft_sim Bft_sm Bft_util Buffer Checkpoint_store Config Hashtbl Int64 List Log Logs Message Nv_decision Option Partition_tree Printf String Wire

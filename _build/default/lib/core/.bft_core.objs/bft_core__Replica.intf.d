@@ -1,0 +1,1 @@
+lib/core/replica.mli: Bft_crypto Bft_net Bft_sm Bft_util Config Message

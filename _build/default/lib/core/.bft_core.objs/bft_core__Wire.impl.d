@@ -1,0 +1,1 @@
+lib/core/wire.ml: Bft_crypto Buffer Char Int64 List Message String

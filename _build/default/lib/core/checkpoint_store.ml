@@ -1,0 +1,101 @@
+type t = {
+  cfg : Config.t;
+  page_size : int;
+  branching : int;
+  mutable trees : Partition_tree.t list; (* ascending seq *)
+  mutable stable : int;
+  (* seq -> (replica -> digest) votes from CHECKPOINT messages *)
+  votes : (int, (int, string) Hashtbl.t) Hashtbl.t;
+}
+
+let create cfg ~page_size ~branching =
+  { cfg; page_size; branching; trees = []; stable = 0; votes = Hashtbl.create 16 }
+
+let tree_at t seq = List.find_opt (fun tr -> Partition_tree.seq tr = seq) t.trees
+
+let latest t =
+  match List.rev t.trees with [] -> None | tr :: _ -> Some tr
+
+let insert_tree t tr =
+  let seq = Partition_tree.seq tr in
+  let others = List.filter (fun x -> Partition_tree.seq x <> seq) t.trees in
+  t.trees <- List.sort (fun a b -> compare (Partition_tree.seq a) (Partition_tree.seq b)) (tr :: others)
+
+let take t ~seq ~snapshot =
+  let prev = latest t in
+  let tr = Partition_tree.build ?prev ~seq ~page_size:t.page_size ~branching:t.branching snapshot in
+  insert_tree t tr;
+  tr
+
+let install t tr = insert_tree t tr
+let stable_seq t = t.stable
+let stable_tree t = tree_at t t.stable
+
+let held t =
+  List.map (fun tr -> (Partition_tree.seq tr, Partition_tree.root_digest tr)) t.trees
+
+let votes_for t seq =
+  match Hashtbl.find_opt t.votes seq with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.votes seq h;
+      h
+
+let add_message t (c : Message.checkpoint) =
+  if c.ck_seq > t.stable then
+    Hashtbl.replace (votes_for t c.ck_seq) c.ck_replica c.ck_digest
+
+let proof_count t ~seq ~digest =
+  match Hashtbl.find_opt t.votes seq with
+  | None -> 0
+  | Some h ->
+      Hashtbl.fold (fun _ d acc -> if String.equal d digest then acc + 1 else acc) h 0
+
+let threshold t =
+  match t.cfg.Config.auth_mode with
+  | Config.Mac_auth -> Config.quorum t.cfg
+  | Config.Sig_auth -> Config.weak t.cfg
+
+let try_stabilize t =
+  let candidates =
+    List.filter
+      (fun tr ->
+        let seq = Partition_tree.seq tr in
+        seq > t.stable
+        && proof_count t ~seq ~digest:(Partition_tree.root_digest tr) >= threshold t)
+      t.trees
+  in
+  match List.rev candidates with
+  | [] -> None
+  | tr :: _ ->
+      let seq = Partition_tree.seq tr in
+      t.stable <- seq;
+      t.trees <- List.filter (fun x -> Partition_tree.seq x >= seq) t.trees;
+      Hashtbl.iter
+        (fun s _ -> if s <= seq then Hashtbl.remove t.votes s)
+        (Hashtbl.copy t.votes);
+      Some (seq, tr)
+
+let certified_digest t ~threshold =
+  let best = ref None in
+  Hashtbl.iter
+    (fun seq votes ->
+      (* group votes by digest *)
+      let counts = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun _ d ->
+          Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+        votes;
+      Hashtbl.iter
+        (fun d c ->
+          if c >= threshold then
+            match !best with
+            | Some (s, _) when s >= seq -> ()
+            | _ -> best := Some (seq, d))
+        counts)
+    t.votes;
+  !best
+
+let drop_above t bound =
+  t.trees <- List.filter (fun tr -> Partition_tree.seq tr <= bound) t.trees

@@ -1,0 +1,246 @@
+module Engine = Bft_sim.Engine
+module Network = Bft_net.Network
+module Costs = Bft_net.Costs
+open Message
+
+type deps = {
+  cfg : Config.t;
+  net : Message.envelope Network.t;
+  registry : Bft_crypto.Signature.registry;
+  keychain : Bft_crypto.Keychain.t;
+  signer : Bft_crypto.Signature.signer;
+  rng : Bft_util.Rng.t;
+}
+
+(* Per-replica reply record: tentative flag, result digest, full result if
+   it carried one. *)
+type reply_info = { ri_tentative : bool; ri_digest : string; ri_full : string option }
+
+type pending = {
+  p_req : request;
+  p_started : Engine.time;
+  p_replies : (int, reply_info) Hashtbl.t;
+  p_callback : result:string -> latency_us:float -> unit;
+  mutable p_timer : Engine.handle option;
+  mutable p_retries : int;
+  mutable p_broadcast : bool; (* already retransmitted to all replicas *)
+}
+
+type t = {
+  d : deps;
+  id : int;
+  engine : Engine.t;
+  costs : Costs.t;
+  mutable view_guess : int;
+  mutable last_timestamp : int64;
+  mutable pending : pending option;
+  mutable next_replier : int;
+  mutable completed : int;
+  mutable retransmissions : int;
+  mutable byz_partial : bool;
+  (* smoothed response time for adaptive retransmission (Section 5.2) *)
+  mutable srtt_us : float;
+}
+
+let id t = t.id
+let busy t = t.pending <> None
+let completed t = t.completed
+let retransmissions t = t.retransmissions
+let byzantine_partial_auth t b = t.byz_partial <- b
+let charge t us = Network.charge t.d.net ~id:t.id us
+let replica_ids t = Config.replica_ids t.d.cfg
+let primary t = Config.primary t.d.cfg ~view:t.view_guess
+
+let request_token t req =
+  let body = Request req in
+  match t.d.cfg.Config.auth_mode with
+  | Config.Sig_auth ->
+      charge t t.costs.Costs.sig_gen_us;
+      Auth_sig (Bft_crypto.Signature.sign t.d.signer (Wire.encode body))
+  | Config.Mac_auth ->
+      charge t (Costs.auth_gen_us t.costs t.d.cfg.Config.n);
+      let auth =
+        Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:(replica_ids t)
+          (Wire.encode body)
+      in
+      let auth =
+        if t.byz_partial then
+          (* corrupt the MACs for odd-numbered replicas *)
+          List.fold_left
+            (fun a peer -> if peer mod 2 = 1 then Bft_crypto.Auth.corrupt_entry a peer else a)
+            auth (replica_ids t)
+        else auth
+      in
+      Auth_vector auth
+
+let send_request t req ~to_all =
+  let token = request_token t req in
+  let env = { sender = t.id; body = Request req; auth = token } in
+  let size = Wire.envelope_size env in
+  if to_all then Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t) ~size env
+  else Network.send t.d.net ~src:t.id ~dst:(primary t) ~size env
+
+let rec arm_timer t p =
+  (* adaptive timeout: a multiple of the smoothed measured response time,
+     floored by the configured minimum, with exponential backoff *)
+  let base = Float.max t.d.cfg.Config.client_retry_us (3.0 *. t.srtt_us) in
+  let delay = base *. (2.0 ** float_of_int p.p_retries) in
+  p.p_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:(Engine.of_us_float delay) (fun () ->
+           p.p_timer <- None;
+           if (match t.pending with Some p' -> p' == p | None -> false) then begin
+             t.retransmissions <- t.retransmissions + 1;
+             p.p_retries <- p.p_retries + 1;
+             p.p_broadcast <- true;
+             let req = p.p_req in
+             (* a read-only request that keeps failing is retried as a
+                regular request (Section 5.1.3) *)
+             let req =
+               if req.read_only && p.p_retries >= 2 then { req with read_only = false }
+               else req
+             in
+             Hashtbl.reset p.p_replies;
+             send_request t req ~to_all:true;
+             arm_timer t p
+           end))
+
+let try_complete t p =
+  (* group matching replies by result digest *)
+  let groups = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun replica ri ->
+      let total, nontent, full =
+        match Hashtbl.find_opt groups ri.ri_digest with
+        | Some (a, b, f) -> (a, b, f)
+        | None -> (0, 0, None)
+      in
+      ignore replica;
+      let full = match (full, ri.ri_full) with Some f, _ -> Some f | None, f -> f in
+      Hashtbl.replace groups ri.ri_digest
+        (total + 1, (if ri.ri_tentative then nontent else nontent + 1), full))
+    p.p_replies;
+  let cfg = t.d.cfg in
+  let needed_weak = Config.weak cfg and needed_quorum = Config.quorum cfg in
+  let winner = ref None in
+  Hashtbl.iter
+    (fun _d (total, nontent, full) ->
+      match full with
+      | Some result ->
+          let ok =
+            if p.p_req.read_only then total >= needed_quorum
+            else nontent >= needed_weak || total >= needed_quorum
+          in
+          if ok then winner := Some result
+      | None -> ())
+    groups;
+  match !winner with
+  | Some result ->
+      (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+      t.pending <- None;
+      t.completed <- t.completed + 1;
+      let latency = Engine.to_us (Int64.sub (Engine.now t.engine) p.p_started) in
+      t.srtt_us <-
+        (if t.srtt_us = 0.0 then latency else (0.8 *. t.srtt_us) +. (0.2 *. latency));
+      p.p_callback ~result ~latency_us:latency
+  | None -> ()
+
+let handle t (env : envelope) =
+  match env.body with
+  | New_key nk -> (
+      (* a recovering replica re-keys us; verify its signature and install
+         the fresh key for sending to it (Section 4.3.2) *)
+      match env.auth with
+      | Auth_sig s
+        when s.Bft_crypto.Signature.signer_id = nk.nk_replica
+             && (charge t t.costs.Costs.sig_verify_us;
+                 Bft_crypto.Signature.verify t.d.registry s (Wire.encode env.body)) -> (
+          match List.assoc_opt t.id nk.nk_keys with
+          | Some key ->
+              ignore (Bft_crypto.Keychain.install_out_key t.d.keychain ~peer:nk.nk_replica key)
+          | None -> ())
+      | _ -> ())
+  | Reply rp when rp.rp_client = t.id -> (
+      match t.pending with
+      | Some p when Int64.equal rp.rp_timestamp p.p_req.timestamp ->
+          let verified =
+            match (t.d.cfg.Config.auth_mode, env.auth) with
+            | _, Auth_sig s ->
+                charge t t.costs.Costs.sig_verify_us;
+                s.Bft_crypto.Signature.signer_id = rp.rp_replica
+                && Bft_crypto.Signature.verify t.d.registry s (Wire.encode env.body)
+            | _, Auth_mac m ->
+                charge t t.costs.Costs.mac_us;
+                Bft_crypto.Auth.verify_mac t.d.keychain ~peer:rp.rp_replica m
+                  (Wire.encode env.body)
+            | _, (Auth_none | Auth_vector _) -> false
+          in
+          if verified then begin
+            if rp.rp_view > t.view_guess then t.view_guess <- rp.rp_view;
+            let info =
+              match rp.rp_result with
+              | Full s ->
+                  charge t (Costs.digest_us t.costs (String.length s));
+                  { ri_tentative = rp.rp_tentative; ri_digest = Wire.result_digest s; ri_full = Some s }
+              | Result_digest d ->
+                  { ri_tentative = rp.rp_tentative; ri_digest = d; ri_full = None }
+            in
+            Hashtbl.replace p.p_replies rp.rp_replica info;
+            try_complete t p
+          end
+      | _ -> ())
+  | _ -> ()
+
+let create d ~id =
+  let t =
+    {
+      d;
+      id;
+      engine = Network.engine d.net;
+      costs = Network.costs d.net;
+      view_guess = 0;
+      last_timestamp = 0L;
+      pending = None;
+      next_replier = id mod d.cfg.Config.n;
+      completed = 0;
+      retransmissions = 0;
+      byz_partial = false;
+      srtt_us = 0.0;
+    }
+  in
+  Network.add_node d.net ~id ~handler:(fun env -> handle t env);
+  t
+
+let invoke t ?(read_only = false) ~op callback =
+  if t.pending <> None then invalid_arg "Client.invoke: request already outstanding";
+  t.last_timestamp <- Int64.add t.last_timestamp 1L;
+  let replier = t.next_replier in
+  t.next_replier <- (t.next_replier + 1) mod t.d.cfg.Config.n;
+  let req =
+    {
+      op;
+      timestamp = t.last_timestamp;
+      client = t.id;
+      read_only = read_only && t.d.cfg.Config.read_only_opt;
+      replier;
+    }
+  in
+  let p =
+    {
+      p_req = req;
+      p_started = Engine.now t.engine;
+      p_replies = Hashtbl.create 8;
+      p_callback = callback;
+      p_timer = None;
+      p_retries = 0;
+      p_broadcast = false;
+    }
+  in
+  t.pending <- Some p;
+  (* large requests and read-only requests go to all replicas directly
+     (Sections 5.1.5 and 5.1.3) *)
+  let to_all =
+    req.read_only || String.length op > t.d.cfg.Config.separate_tx_threshold
+  in
+  send_request t req ~to_all;
+  arm_timer t p

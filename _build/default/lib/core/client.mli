@@ -1,0 +1,48 @@
+(** Client proxy (Section 2.3.2 and the proxy automaton of Section 2.4.4).
+
+    [invoke] sends a request to the primary (or multicasts it when the
+    operation is large or read-only), collects replies, and fires the
+    callback once a correct result is certain:
+    - f+1 matching non-tentative replies (weak certificate), or
+    - 2f+1 matching replies when any are tentative (Section 5.1.2) or the
+      request was read-only (Section 5.1.3).
+
+    Under the digest-replies optimization only the designated replier
+    returns the full result; the client matches the rest by digest. On
+    timeout the request is retransmitted to all replicas with exponential
+    backoff; a read-only request that cannot assemble a quorum is retried
+    as a regular read-write request. *)
+
+type t
+
+type deps = {
+  cfg : Config.t;
+  net : Message.envelope Bft_net.Network.t;
+  registry : Bft_crypto.Signature.registry;
+  keychain : Bft_crypto.Keychain.t;
+  signer : Bft_crypto.Signature.signer;
+  rng : Bft_util.Rng.t;
+}
+
+val create : deps -> id:int -> t
+(** Registers the client's network handler. One outstanding request at a
+    time (the paper's well-formedness condition). *)
+
+val id : t -> int
+
+val invoke :
+  t -> ?read_only:bool -> op:string -> (result:string -> latency_us:float -> unit) -> unit
+(** Raises [Invalid_argument] if a request is already outstanding. *)
+
+val busy : t -> bool
+
+val completed : t -> int
+(** Number of operations completed since creation. *)
+
+val retransmissions : t -> int
+
+(** {2 Fault injection} *)
+
+val byzantine_partial_auth : t -> bool -> unit
+(** Corrupt part of the request authenticator (some replicas can verify it,
+    others cannot) — the faulty-client scenario of Section 3.2.2. *)

@@ -1,0 +1,70 @@
+(** Static configuration of a replica group.
+
+    [n = 3f + 1] replicas with ids [0 .. n-1]; clients use ids [>= n].
+    The primary of view [v] is replica [v mod n] (Section 2.3). *)
+
+type auth_mode =
+  | Mac_auth  (** BFT: authenticators / MACs everywhere (Chapter 3) *)
+  | Sig_auth  (** BFT-PK: public-key signatures on all messages (Chapter 2) *)
+
+type t = {
+  f : int;  (** maximum simultaneous faults tolerated *)
+  n : int;  (** number of replicas, 3f+1 *)
+  auth_mode : auth_mode;
+  checkpoint_interval : int;  (** K: checkpoint every K sequence numbers *)
+  log_size : int;  (** L: high water mark is [h + L]; typically 2K *)
+  max_batch : int;  (** max requests batched in one pre-prepare *)
+  batching : bool;  (** Section 5.1.4; off = one request per instance *)
+  window : int;
+      (** sliding window of concurrent protocol instances beyond the last
+          executed batch; once full, arriving requests queue at the primary
+          and are batched (Section 5.1.4) *)
+  tentative_execution : bool;  (** Section 5.1.2 *)
+  read_only_opt : bool;  (** Section 5.1.3 *)
+  digest_replies : bool;  (** Section 5.1.1 *)
+  digest_replies_threshold : int;  (** results below this are sent in full *)
+  separate_tx_threshold : int;
+      (** requests above this size are multicast by the client and carried
+          by digest in pre-prepares (Section 5.1.5) *)
+  client_retry_us : float;  (** client retransmission timeout *)
+  vc_timeout_us : float;  (** initial view-change timeout T (doubles) *)
+  status_interval_us : float;  (** periodic status message interval *)
+  recovery : bool;  (** BFT-PR proactive recovery (Chapter 4) *)
+  watchdog_period_us : float;
+  key_refresh_us : float;  (** session-key refresh period *)
+  null_exec_cost_us : float;
+}
+
+val make :
+  ?auth_mode:auth_mode ->
+  ?checkpoint_interval:int ->
+  ?log_size:int ->
+  ?max_batch:int ->
+  ?batching:bool ->
+  ?window:int ->
+  ?tentative_execution:bool ->
+  ?read_only_opt:bool ->
+  ?digest_replies:bool ->
+  ?digest_replies_threshold:int ->
+  ?separate_tx_threshold:int ->
+  ?client_retry_us:float ->
+  ?vc_timeout_us:float ->
+  ?status_interval_us:float ->
+  ?recovery:bool ->
+  ?watchdog_period_us:float ->
+  ?key_refresh_us:float ->
+  f:int ->
+  unit ->
+  t
+
+val primary : t -> view:int -> int
+val is_primary : t -> view:int -> id:int -> bool
+val quorum : t -> int
+(** 2f+1: quorum certificate size. *)
+
+val weak : t -> int
+(** f+1: weak certificate size. *)
+
+val replica_ids : t -> int list
+val in_window : t -> h:int -> int -> bool
+(** [in_window t ~h n] iff [h < n <= h + L]. *)

@@ -1,0 +1,31 @@
+(** The new-view decision procedure (paper Fig 3-3).
+
+    Given the set S of acknowledged view-change messages, the new primary
+    chooses (and every backup re-derives and checks):
+    - the start checkpoint: the highest [(n, d)] such that 2f+1 messages
+      have [h <= n] and f+1 messages vouch for [(n, d)] in their C
+      component;
+    - for every sequence number after it, either a batch digest that might
+      have committed in an earlier view (condition A: proposed in some P
+      component, not contradicted by a quorum (A1), supported by f+1 Q
+      entries (A2), and with the batch body available (A3)), or the null
+      batch when a quorum shows nothing prepared (condition B).
+
+    The procedure returns [`Wait] when the information is insufficient to
+    decide — more view-change messages or batch bodies are needed. *)
+
+type result =
+  | Wait
+  | Decision of {
+      start : int;
+      start_digest : Message.digest;
+      chosen : Message.nv_choice list;  (** ascending, start+1 .. max *)
+    }
+
+val decide :
+  Config.t ->
+  (int * Message.view_change) list ->
+  has_batch:(Message.digest -> bool) ->
+  result
+(** The association list maps each sender to its (acknowledged)
+    view-change message; at most one entry per sender. *)

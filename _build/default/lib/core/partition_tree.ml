@@ -1,0 +1,153 @@
+type digest = string
+type page = { data : string; lm : int; digest : digest }
+type node = { n_lm : int; n_digest : digest }
+
+type t = {
+  seq : int;
+  page_size : int;
+  branching : int;
+  pages : page array;
+  interior : node array array; (* interior.(l) for levels 0 .. depth-2 *)
+  digested_bytes : int;
+}
+
+let page_digest ~index ~lm ~data =
+  let b = Buffer.create (String.length data + 24) in
+  Buffer.add_string b "PAGE";
+  Buffer.add_string b (string_of_int index);
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int lm);
+  Buffer.add_char b ':';
+  Buffer.add_string b data;
+  Bft_crypto.Sha256.digest (Buffer.contents b)
+
+let rebuild_page ~index ~lm ~data = { data; lm; digest = page_digest ~index ~lm ~data }
+
+let split_pages page_size s =
+  let len = String.length s in
+  let n = max 1 ((len + page_size - 1) / page_size) in
+  Array.init n (fun i ->
+      let off = i * page_size in
+      let l = min page_size (len - off) in
+      if l <= 0 then "" else String.sub s off l)
+
+(* Combine children of one interior node: AdHash of child digests, tagged
+   with the node's coordinates and lm. *)
+let interior_digest ~level ~index ~lm children_digests =
+  let acc =
+    List.fold_left
+      (fun acc d -> Bft_crypto.Adhash.add acc (Bft_crypto.Adhash.of_digest d))
+      Bft_crypto.Adhash.zero children_digests
+  in
+  let b = Buffer.create 64 in
+  Buffer.add_string b "META";
+  Buffer.add_string b (string_of_int level);
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int index);
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int lm);
+  Buffer.add_char b ':';
+  Buffer.add_string b (Bft_crypto.Adhash.to_string acc);
+  Bft_crypto.Sha256.digest (Buffer.contents b)
+
+let num_interior_levels ~branching ~num_pages =
+  (* levels above the page level, at least 1 (the root) *)
+  let rec go width acc = if width <= 1 then acc else go ((width + branching - 1) / branching) (acc + 1) in
+  max 1 (go num_pages 0)
+
+let build ?prev ~seq ~page_size ~branching snapshot =
+  if page_size <= 0 then invalid_arg "Partition_tree.build: page_size";
+  if branching < 2 then invalid_arg "Partition_tree.build: branching";
+  let chunks = split_pages page_size snapshot in
+  let digested = ref 0 in
+  let reuse =
+    match prev with
+    | Some p when p.page_size = page_size && p.branching = branching -> Some p
+    | _ -> None
+  in
+  let pages =
+    Array.mapi
+      (fun i data ->
+        match reuse with
+        | Some p when i < Array.length p.pages && String.equal p.pages.(i).data data ->
+            p.pages.(i)
+        | _ ->
+            digested := !digested + String.length data;
+            { data; lm = seq; digest = page_digest ~index:i ~lm:seq ~data })
+      chunks
+  in
+  (* interior levels, bottom-up; level depth-2 groups pages *)
+  let n_int = num_interior_levels ~branching ~num_pages:(Array.length pages) in
+  let interior = Array.make n_int [||] in
+  let lower_lm_digest = ref (Array.map (fun p -> (p.lm, p.digest)) pages) in
+  for l = n_int - 1 downto 0 do
+    let lower = !lower_lm_digest in
+    let width = (Array.length lower + branching - 1) / branching in
+    let width = max 1 width in
+    let nodes =
+      Array.init width (fun i ->
+          let first = i * branching in
+          let last = min ((i + 1) * branching) (Array.length lower) - 1 in
+          let lm = ref 0 and ds = ref [] in
+          for c = last downto first do
+            let clm, cd = lower.(c) in
+            if clm > !lm then lm := clm;
+            ds := cd :: !ds
+          done;
+          { n_lm = !lm; n_digest = interior_digest ~level:l ~index:i ~lm:!lm !ds })
+    in
+    interior.(l) <- nodes;
+    lower_lm_digest := Array.map (fun n -> (n.n_lm, n.n_digest)) nodes
+  done;
+  assert (Array.length interior.(0) = 1);
+  { seq; page_size; branching; pages; interior; digested_bytes = !digested }
+
+let seq t = t.seq
+let root_digest t = t.interior.(0).(0).n_digest
+let num_pages t = Array.length t.pages
+let depth t = Array.length t.interior + 1
+
+let page t i =
+  if i < 0 || i >= Array.length t.pages then invalid_arg "Partition_tree.page";
+  t.pages.(i)
+
+let node_info t ~level ~index =
+  let page_level = Array.length t.interior in
+  if level = page_level then begin
+    let p = page t index in
+    (p.lm, p.digest)
+  end
+  else begin
+    if level < 0 || level > page_level then invalid_arg "Partition_tree.node_info";
+    let n = t.interior.(level).(index) in
+    (n.n_lm, n.n_digest)
+  end
+
+let child_range t ~level ~index =
+  let page_level = Array.length t.interior in
+  if level >= page_level then invalid_arg "Partition_tree.child_range: page level";
+  let lower_width =
+    if level + 1 = page_level then Array.length t.pages
+    else Array.length t.interior.(level + 1)
+  in
+  let first = index * t.branching in
+  let last = min ((index + 1) * t.branching) lower_width - 1 in
+  (first, last)
+
+let children t ~level ~index =
+  let first, last = child_range t ~level ~index in
+  let infos = ref [] in
+  for c = last downto first do
+    let lm, d = node_info t ~level:(level + 1) ~index:c in
+    infos := (c, lm, d) :: !infos
+  done;
+  !infos
+
+let snapshot t =
+  let b = Buffer.create (Array.length t.pages * t.page_size) in
+  Array.iter (fun p -> Buffer.add_string b p.data) t.pages;
+  Buffer.contents b
+
+let digested_bytes t = t.digested_bytes
+let page_size t = t.page_size
+let branching t = t.branching

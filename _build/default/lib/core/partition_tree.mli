@@ -1,0 +1,58 @@
+(** Hierarchical state partitions for checkpoint management (Section 5.3.1).
+
+    The service state (a snapshot byte string) is split into fixed-size
+    pages, the leaves of a tree in which each interior partition has up to
+    [branching] children. Each node stores the last checkpoint sequence
+    number at which it was modified ([lm]) and a digest; page digests hash
+    (index, lm, value) and interior digests combine child digests with
+    AdHash, so the digests of a new checkpoint are computed incrementally
+    from the previous one: only modified pages are re-hashed. The root
+    digest is the checkpoint digest carried by CHECKPOINT messages, and it
+    commits the values of all sub-partitions, which is what lets state
+    transfer verify fetched partitions top-down without certificates
+    (Section 5.3.2). *)
+
+type digest = string
+
+type page = { data : string; lm : int; digest : digest }
+
+type t
+
+val build : ?prev:t -> seq:int -> page_size:int -> branching:int -> string -> t
+(** [build ?prev ~seq ~page_size ~branching snapshot] constructs the tree
+    for the checkpoint with sequence number [seq]. When [prev] is given and
+    has the same geometry, unchanged pages share their records (and their
+    [lm] and digests) with [prev] — the copy-on-write of the paper. *)
+
+val seq : t -> int
+val root_digest : t -> digest
+val num_pages : t -> int
+val depth : t -> int
+(** Number of levels; level 0 is the root, level [depth - 1] the pages. *)
+
+val page : t -> int -> page
+(** Raises [Invalid_argument] on out-of-range index. *)
+
+val node_info : t -> level:int -> index:int -> int * digest
+(** [(lm, digest)] of an interior node or page. *)
+
+val children : t -> level:int -> index:int -> (int * int * digest) list
+(** [(child_index, lm, digest)] list for an interior partition — the
+    contents of a META-DATA reply. [level] must be an interior level. *)
+
+val child_range : t -> level:int -> index:int -> int * int
+(** Child index range [(first, last)] of an interior node. *)
+
+val snapshot : t -> string
+(** Reassemble the full state string. *)
+
+val digested_bytes : t -> int
+(** Bytes actually re-hashed when this tree was built (for CPU-cost
+    accounting: unchanged pages cost nothing). *)
+
+val page_size : t -> int
+val branching : t -> int
+
+val rebuild_page : index:int -> lm:int -> data:string -> page
+(** Recompute a page record (used by the fetching side of state transfer to
+    verify received DATA messages against known digests). *)

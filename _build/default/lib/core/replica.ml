@@ -1,0 +1,2196 @@
+module Engine = Bft_sim.Engine
+module Network = Bft_net.Network
+module Costs = Bft_net.Costs
+open Message
+
+let src = Logs.Src.create "bft.replica" ~doc:"BFT replica"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+type deps = {
+  cfg : Config.t;
+  net : Message.envelope Network.t;
+  registry : Bft_crypto.Signature.registry;
+  keychain : Bft_crypto.Keychain.t;
+  signer : Bft_crypto.Signature.signer;
+  service : Bft_sm.Service.t;
+  rng : Bft_util.Rng.t;
+  page_size : int;
+  branching : int;
+}
+
+type counters = {
+  mutable n_executed : int;
+  mutable n_batches : int;
+  mutable n_view_changes : int;
+  mutable n_checkpoints : int;
+  mutable n_state_transfers : int;
+  mutable n_recoveries : int;
+  mutable bytes_fetched : int;
+}
+
+type stored_request = {
+  sr_req : request;
+  sr_token : auth_token;
+  sr_verified : bool; (* we checked our MAC / the signature directly *)
+}
+
+(* One in-flight state transfer (Section 5.3.2). *)
+type transfer = {
+  tx_target : int; (* checkpoint sequence number being fetched *)
+  tx_root_digest : string;
+  (* (level, index) -> expected (lm, digest), discovered walking down *)
+  tx_expected : (int * int, int * string) Hashtbl.t;
+  tx_pending : (int * int, unit) Hashtbl.t; (* partitions fetched but unanswered *)
+  tx_pages : (int, Partition_tree.page) Hashtbl.t; (* verified fetched pages *)
+  mutable tx_page_level : int; (* depth of the remote tree, learnt from metas *)
+  mutable tx_num_pages : int;
+  tx_ok_pages : (int, unit) Hashtbl.t; (* local pages proven up-to-date *)
+  mutable tx_replier : int;
+  mutable tx_timer : Engine.handle option;
+}
+
+(* Recovery (Chapter 4) progress. *)
+type recovery = {
+  mutable rc_phase : [ `Estimating | `Waiting_recovery_reply | `Fetching ];
+  mutable rc_request : request option; (* the signed recovery request, for retransmission *)
+  rc_nonce : int64;
+  (* replica -> (min c, max p) collected by the estimation protocol *)
+  rc_est : (int, int * int) Hashtbl.t;
+  mutable rc_est_hm : int; (* H_M once estimated *)
+  mutable rc_recovery_point : int; (* H_R *)
+  rc_replies : (int, int) Hashtbl.t; (* replica -> seqno in recovery reply *)
+}
+
+type t = {
+  d : deps;
+  id : int;
+  engine : Engine.t;
+  costs : Costs.t;
+  rng : Bft_util.Rng.t;
+  counters : counters;
+  (* protocol state *)
+  mutable view : int;
+  mutable seqno : int; (* last sequence number assigned (primary) *)
+  mutable last_exec : int;
+  mutable committed_upto : int;
+  log : Log.t;
+  ckpts : Checkpoint_store.t;
+  batches : (string, batch_elem list * string) Hashtbl.t; (* digest -> batch, nondet *)
+  requests : (string, stored_request) Hashtbl.t; (* request digest -> body *)
+  mutable queue : request list; (* primary FIFO of requests awaiting assignment *)
+  queued : (string, unit) Hashtbl.t; (* digests present in [queue] *)
+  (* digests assigned to a batch but not yet executed: retransmissions of
+     an in-flight request must not be assigned a second sequence number *)
+  assigned : (string, unit) Hashtbl.t;
+  last_reply : (int, int64 * string * int) Hashtbl.t; (* client -> t, result, view *)
+  mutable deferred_pps : pre_prepare list;
+  mutable pending_ro : request list;
+  (* checkpoints whose CHECKPOINT message is deferred until commit *)
+  mutable pending_ckpt_announce : int list;
+  (* view change state *)
+  mutable active : bool;
+  pset : (int, pset_entry) Hashtbl.t;
+  qset : (int, (string * int) list) Hashtbl.t;
+  my_vcs : (int, view_change) Hashtbl.t; (* view -> our view-change *)
+  vcs : (int * int, view_change * bool) Hashtbl.t; (* (view, sender) -> vc, verified *)
+  acks : (int * int, (int, string) Hashtbl.t) Hashtbl.t;
+      (* (view, origin) -> acker -> digest *)
+  my_acks : (int, view_change_ack list) Hashtbl.t; (* view -> acks we sent *)
+  mutable new_views : (int, new_view) Hashtbl.t; (* view -> accepted/sent new-view *)
+  mutable vc_timer : Engine.handle option;
+  mutable vc_timeout_us : float;
+  mutable deferred_nv : new_view option; (* waiting for vcs or batches *)
+  (* client-request waiting set: request digest -> unit; drives vc timer *)
+  waiting : (string, unit) Hashtbl.t;
+  (* state transfer *)
+  mutable transfer : transfer option;
+  (* recovery *)
+  mutable recovering : recovery option;
+  mutable hm_bound : int; (* don't send protocol messages above this while recovering *)
+  mutable coproc_counter : int64;
+  mutable last_recovery_reply : (int, int64) Hashtbl.t; (* replica -> counter seen *)
+  (* execution history for linearizability checks *)
+  mutable history : (int * int * string * string) list; (* newest first *)
+  (* fault injection *)
+  mutable byzantine : bool;
+  mutable muted : bool;
+  (* primary fills with null batches until this checkpoint is stable, so a
+     recovering replica's recovery point can be reached (Section 4.3.2) *)
+  mutable null_fill_until : int;
+  (* timers *)
+  mutable status_timer : Engine.handle option;
+  mutable watchdog_timer : Engine.handle option;
+  mutable key_timer : Engine.handle option;
+}
+
+let id t = t.id
+let view t = t.view
+let is_active t = t.active
+let last_executed t = t.last_exec
+let committed_upto t = t.committed_upto
+let stable_checkpoint t = Checkpoint_store.stable_seq t.ckpts
+let is_recovering t = t.recovering <> None
+let counters t = t.counters
+let service_state t = t.d.service.Bft_sm.Service.snapshot ()
+let executed_ops t = List.rev t.history
+let primary_of t v = Config.primary t.d.cfg ~view:v
+let primary t = primary_of t t.view
+let is_primary t = primary t = t.id
+let quorum t = Config.quorum t.d.cfg
+let weak t = Config.weak t.d.cfg
+let replica_ids t = Config.replica_ids t.d.cfg
+let charge t us = Network.charge t.d.net ~id:t.id us
+let now t = Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Authentication                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sign_body t body =
+  charge t t.costs.Costs.sig_gen_us;
+  Auth_sig (Bft_crypto.Signature.sign t.d.signer (Wire.encode body))
+
+let mac_body t ~dst body =
+  charge t t.costs.Costs.mac_us;
+  match Bft_crypto.Auth.compute_mac t.d.keychain ~peer:dst (Wire.encode body) with
+  | Some m -> Auth_mac m
+  | None -> Auth_none
+
+let vector_body t ~dsts body =
+  charge t (Costs.auth_gen_us t.costs (List.length dsts));
+  Auth_vector
+    (Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:dsts (Wire.encode body))
+
+(* Multicast to all replicas (including self: the paper's replicas process
+   their own protocol messages through the log). *)
+let broadcast t body =
+  if not t.muted then begin
+    let auth =
+      match (t.d.cfg.Config.auth_mode, body) with
+      | _, New_key _ -> sign_body t body
+      | Config.Sig_auth, _ -> sign_body t body
+      | Config.Mac_auth, _ -> vector_body t ~dsts:(replica_ids t) body
+    in
+    let env = { sender = t.id; body; auth } in
+    Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
+      ~size:(Wire.envelope_size env) env
+  end
+
+let send_to t ~dst body =
+  if not t.muted then begin
+    let auth =
+      match t.d.cfg.Config.auth_mode with
+      | Config.Sig_auth -> sign_body t body
+      | Config.Mac_auth -> mac_body t ~dst body
+    in
+    let env = { sender = t.id; body; auth } in
+    Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
+  end
+
+(* Send with no authentication (DATA replies are verified by digest,
+   Section 5.3.2). *)
+let send_plain t ~dst body =
+  if not t.muted then begin
+    let env = { sender = t.id; body; auth = Auth_none } in
+    Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
+  end
+
+let verify_token t ~claimed body token =
+  match token with
+  | Auth_none -> false
+  | Auth_sig s ->
+      charge t t.costs.Costs.sig_verify_us;
+      s.Bft_crypto.Signature.signer_id = claimed
+      && Bft_crypto.Signature.verify t.d.registry s (Wire.encode body)
+  | Auth_mac m ->
+      charge t t.costs.Costs.mac_us;
+      Bft_crypto.Auth.verify_mac t.d.keychain ~peer:claimed m (Wire.encode body)
+  | Auth_vector a ->
+      charge t t.costs.Costs.mac_us;
+      Bft_crypto.Auth.verify_authenticator t.d.keychain ~peer:claimed a (Wire.encode body)
+
+(* ------------------------------------------------------------------ *)
+(* State snapshots: service state + reply cache (the paper's checkpoints
+   snapshot val, last-rep and last-rep-t together, Section 2.4.4).       *)
+(* ------------------------------------------------------------------ *)
+
+let full_snapshot t =
+  let b = Buffer.create 256 in
+  let svc = t.d.service.Bft_sm.Service.snapshot () in
+  Buffer.add_string b (string_of_int (String.length svc));
+  Buffer.add_char b '\n';
+  Buffer.add_string b svc;
+  let entries =
+    Hashtbl.fold (fun c (ts, res, v) acc -> (c, ts, res, v) :: acc) t.last_reply []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (c, ts, res, v) ->
+      Buffer.add_string b (Printf.sprintf "%d %Ld %d %d\n%s" c ts v (String.length res) res))
+    entries;
+  Buffer.contents b
+
+let restore_snapshot t s =
+  let nl = String.index s '\n' in
+  let svc_len = int_of_string (String.sub s 0 nl) in
+  let svc = String.sub s (nl + 1) svc_len in
+  t.d.service.Bft_sm.Service.restore svc;
+  Hashtbl.reset t.last_reply;
+  let pos = ref (nl + 1 + svc_len) in
+  let len = String.length s in
+  while !pos < len do
+    let nl = String.index_from s !pos '\n' in
+    let header = String.sub s !pos (nl - !pos) in
+    (match String.split_on_char ' ' header with
+    | [ c; ts; v; rlen ] ->
+        let rlen = int_of_string rlen in
+        let res = String.sub s (nl + 1) rlen in
+        Hashtbl.replace t.last_reply (int_of_string c)
+          (Int64.of_string ts, res, int_of_string v);
+        pos := nl + 1 + rlen
+    | _ -> pos := len)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Requests and batches                                                *)
+(* ------------------------------------------------------------------ *)
+
+let store_request t req token verified =
+  let d = Wire.request_digest req in
+  (match Hashtbl.find_opt t.requests d with
+  | Some sr when sr.sr_verified -> ()
+  | _ -> Hashtbl.replace t.requests d { sr_req = req; sr_token = token; sr_verified = verified });
+  d
+
+let resolve_elem t elem =
+  match elem with
+  | Inline (r, _) -> Some r
+  | By_digest d -> (
+      match Hashtbl.find_opt t.requests d with
+      | Some sr -> Some sr.sr_req
+      | None -> None)
+
+let have_batch_bodies t digest =
+  match Hashtbl.find_opt t.batches digest with
+  | None -> String.equal digest Wire.null_batch_digest
+  | Some (batch, _) -> List.for_all (fun e -> resolve_elem t e <> None) batch
+
+let store_batch t pp =
+  let d = Wire.batch_digest pp.pp_batch pp.pp_nondet in
+  Hashtbl.replace t.batches d (pp.pp_batch, pp.pp_nondet);
+  List.iter
+    (fun e ->
+      match e with
+      | Inline (r, tok) -> ignore (store_request t r tok false)
+      | By_digest _ -> ())
+    pp.pp_batch;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Forward declarations through references (the handler graph is
+   mutually recursive across protocol sub-modules).                    *)
+(* ------------------------------------------------------------------ *)
+
+let noop_t (_ : t) = ()
+let try_execute_ref : (t -> unit) ref = ref noop_t
+let process_queue_ref : (t -> unit) ref = ref noop_t
+let start_view_change_ref : (t -> int -> unit) ref = ref (fun _ _ -> ())
+let try_new_view_ref : (t -> unit) ref = ref noop_t
+let process_new_view_ref : (t -> unit) ref = ref noop_t
+let check_transfer_done_ref : (t -> unit) ref = ref noop_t
+let recovery_step_ref : (t -> unit) ref = ref noop_t
+let retry_deferred_pps_ref : (t -> unit) ref = ref noop_t
+
+(* ------------------------------------------------------------------ *)
+(* Timers: view-change timer driven by the waiting-request set          *)
+(* ------------------------------------------------------------------ *)
+
+let stop_vc_timer t =
+  match t.vc_timer with
+  | Some h ->
+      Engine.cancel h;
+      t.vc_timer <- None
+  | None -> ()
+
+let start_vc_timer t =
+  if t.vc_timer = None then
+    t.vc_timer <-
+      Some
+        (Engine.schedule t.engine
+           ~delay:(Engine.of_us_float t.vc_timeout_us)
+           (fun () ->
+             t.vc_timer <- None;
+             if t.active then !start_view_change_ref t (t.view + 1)))
+
+let note_waiting t digest =
+  if not (Hashtbl.mem t.waiting digest) then begin
+    Hashtbl.replace t.waiting digest ();
+    if t.active then start_vc_timer t
+  end
+
+let clear_waiting t digest =
+  if Hashtbl.mem t.waiting digest then begin
+    Hashtbl.remove t.waiting digest;
+    if Hashtbl.length t.waiting = 0 then stop_vc_timer t
+    else if t.active then begin
+      (* restart for the next waiting request (FIFO fairness, 2.3.5) *)
+      stop_vc_timer t;
+      start_vc_timer t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints and garbage collection                                   *)
+(* ------------------------------------------------------------------ *)
+
+let take_checkpoint t seq =
+  let snap = full_snapshot t in
+  charge t (Costs.digest_us t.costs 0);
+  let tree = Checkpoint_store.take t.ckpts ~seq ~snapshot:snap in
+  charge t (Costs.digest_us t.costs (Partition_tree.digested_bytes tree));
+  t.counters.n_checkpoints <- t.counters.n_checkpoints + 1;
+  tree
+
+let announce_checkpoint t seq =
+  match Checkpoint_store.tree_at t.ckpts seq with
+  | None -> ()
+  | Some tree ->
+      let msg =
+        Checkpoint
+          { ck_seq = seq; ck_digest = Partition_tree.root_digest tree; ck_replica = t.id }
+      in
+      Checkpoint_store.add_message t.ckpts
+        { ck_seq = seq; ck_digest = Partition_tree.root_digest tree; ck_replica = t.id };
+      broadcast t msg
+
+let try_stabilize t =
+  match Checkpoint_store.try_stabilize t.ckpts with
+  | None -> ()
+  | Some (seq, _tree) ->
+      Log.truncate t.log seq;
+      (* drop PSet/QSet information at or below the new low mark *)
+      Hashtbl.iter
+        (fun n _ -> if n <= seq then Hashtbl.remove t.pset n)
+        (Hashtbl.copy t.pset);
+      Hashtbl.iter
+        (fun n _ -> if n <= seq then Hashtbl.remove t.qset n)
+        (Hashtbl.copy t.qset);
+      L.debug (fun m -> m "replica %d: checkpoint %d stable" t.id seq);
+      (* recovery completes when the checkpoint at the recovery point is
+         stable (Section 4.3.2) *)
+      (match t.recovering with
+      | Some rc
+        when rc.rc_phase = `Fetching && seq >= rc.rc_recovery_point ->
+          t.recovering <- None;
+          t.hm_bound <- max_int;
+          t.counters.n_recoveries <- t.counters.n_recoveries + 1;
+          L.info (fun m -> m "replica %d: recovery complete at %d" t.id seq)
+      | _ -> ());
+      !process_queue_ref t
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let allowed_seq t n = n <= t.hm_bound
+
+(* Execute one batch at sequence [n]; [tentative] per Section 5.1.2. *)
+let execute_batch t n ~tentative =
+  let e = Log.find t.log n in
+  match (e.Log.pp, e.Log.pp_digest) with
+  | Some pp, Some d ->
+      let is_null = String.equal d Wire.null_batch_digest in
+      let elems = if is_null then [] else pp.pp_batch in
+      List.iter
+        (fun elem ->
+          match resolve_elem t elem with
+          | None -> () (* cannot happen: execution gated on have_batch_bodies *)
+          | Some req ->
+              Hashtbl.remove t.assigned (Wire.request_digest req);
+              let last_t =
+                match Hashtbl.find_opt t.last_reply req.client with
+                | Some (ts, _, _) -> ts
+                | None -> -1L
+              in
+              if Int64.compare req.timestamp last_t > 0 then begin
+                let result =
+                  if String.length req.op >= 9 && String.sub req.op 0 9 = "\x00RECOVERY"
+                  then begin
+                    (* recovery request (Section 4.3.2): refresh our keys and
+                       reply with the sequence number it executed at *)
+                    let k = t.d.cfg.Config.checkpoint_interval in
+                    t.null_fill_until <-
+                      max t.null_fill_until (((n + k - 1) / k * k) + t.d.cfg.Config.log_size);
+                    if req.client <> t.id then begin
+                      t.coproc_counter <- Int64.add t.coproc_counter 1L;
+                      let keys =
+                        List.filter_map
+                          (fun peer ->
+                            if peer = t.id then None
+                            else
+                              Some
+                                (peer, Bft_crypto.Keychain.fresh_in_key t.d.keychain t.rng ~peer))
+                          (replica_ids t)
+                      in
+                      broadcast t
+                        (New_key { nk_replica = t.id; nk_keys = keys; nk_counter = t.coproc_counter })
+                    end;
+                    string_of_int n
+                  end
+                  else if not (t.d.service.Bft_sm.Service.has_access ~client:req.client req.op)
+                  then Bft_sm.Service.denied
+                  else begin
+                    charge t (t.d.service.Bft_sm.Service.exec_cost_us req.op);
+                    t.d.service.Bft_sm.Service.execute ~client:req.client ~op:req.op
+                      ~nondet:pp.pp_nondet
+                  end
+                in
+                t.counters.n_executed <- t.counters.n_executed + 1;
+                t.history <- (n, req.client, req.op, result) :: t.history;
+                Hashtbl.replace t.last_reply req.client (req.timestamp, result, t.view);
+                clear_waiting t (Wire.request_digest req);
+                (* reply: full result from the designated replier or for small
+                   results; digest otherwise (Section 5.1.1) *)
+                let payload =
+                  if
+                    (not t.d.cfg.Config.digest_replies)
+                    || req.replier = t.id
+                    || String.length result <= t.d.cfg.Config.digest_replies_threshold
+                  then Full result
+                  else begin
+                    charge t (Costs.digest_us t.costs (String.length result));
+                    Result_digest (Wire.result_digest result)
+                  end
+                in
+                send_to t ~dst:req.client
+                  (Reply
+                     {
+                       rp_view = t.view;
+                       rp_timestamp = req.timestamp;
+                       rp_client = req.client;
+                       rp_replica = t.id;
+                       rp_tentative = tentative;
+                       rp_result = payload;
+                     })
+              end
+              else begin
+                (* duplicate or superseded assignment: the client is no
+                   longer waiting for this request *)
+                clear_waiting t (Wire.request_digest req);
+                if Int64.compare req.timestamp last_t = 0 then
+                match Hashtbl.find_opt t.last_reply req.client with
+                | Some (ts, result, _) ->
+                    send_to t ~dst:req.client
+                      (Reply
+                         {
+                           rp_view = t.view;
+                           rp_timestamp = ts;
+                           rp_client = req.client;
+                           rp_replica = t.id;
+                           rp_tentative = tentative;
+                           rp_result = Full result;
+                         })
+                | None -> ()
+              end)
+        elems;
+      t.counters.n_batches <- t.counters.n_batches + 1;
+      (* executing a request proves the view is live: reset the view-change
+         timeout to its initial value (liveness rule, Section 2.3.5) *)
+      t.vc_timeout_us <- t.d.cfg.Config.vc_timeout_us;
+      e.Log.executed <- true;
+      e.Log.exec_tentative <- tentative;
+      t.last_exec <- n;
+      if n mod t.d.cfg.Config.checkpoint_interval = 0 then begin
+        ignore (take_checkpoint t n);
+        if tentative then t.pending_ckpt_announce <- n :: t.pending_ckpt_announce
+        else announce_checkpoint t n
+      end
+  | _ -> ()
+
+(* Pending read-only requests execute once the state reflects only
+   committed requests (Section 5.1.3). *)
+let flush_read_only t =
+  if t.pending_ro <> [] && t.committed_upto >= t.last_exec then begin
+    let ros = List.rev t.pending_ro in
+    t.pending_ro <- [];
+    List.iter
+      (fun req ->
+        charge t (t.d.service.Bft_sm.Service.exec_cost_us req.op);
+        let result =
+          if not (t.d.service.Bft_sm.Service.has_access ~client:req.client req.op) then
+            Bft_sm.Service.denied
+          else if not (t.d.service.Bft_sm.Service.is_read_only req.op) then
+            Bft_sm.Service.invalid
+          else t.d.service.Bft_sm.Service.execute ~client:req.client ~op:req.op ~nondet:""
+        in
+        let payload =
+          if
+            (not t.d.cfg.Config.digest_replies)
+            || req.replier = t.id
+            || String.length result <= t.d.cfg.Config.digest_replies_threshold
+          then Full result
+          else Result_digest (Wire.result_digest result)
+        in
+        send_to t ~dst:req.client
+          (Reply
+             {
+               rp_view = t.view;
+               rp_timestamp = req.timestamp;
+               rp_client = req.client;
+               rp_replica = t.id;
+               rp_tentative = true;
+               rp_result = payload;
+             }))
+      ros
+  end
+
+let update_committed_upto t =
+  let continue = ref true in
+  while !continue do
+    let n = t.committed_upto + 1 in
+    if Log.committed t.log ~view:t.view ~seq:n then t.committed_upto <- n
+    else continue := false
+  done
+
+let try_execute t =
+  update_committed_upto t;
+  (* announce checkpoints whose batches have now committed *)
+  let announce, keep =
+    List.partition (fun n -> n <= t.committed_upto) t.pending_ckpt_announce
+  in
+  t.pending_ckpt_announce <- keep;
+  List.iter (fun n -> announce_checkpoint t n) (List.sort compare announce);
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let n = t.last_exec + 1 in
+    if Log.in_window t.log n || n <= Log.low_mark t.log then begin
+      match Log.entry t.log n with
+      | Some e when e.Log.pp_digest <> None && not e.Log.executed ->
+          let d = Option.get e.Log.pp_digest in
+          if have_batch_bodies t d then begin
+            if Log.committed t.log ~view:t.view ~seq:n then begin
+              execute_batch t n ~tentative:false;
+              update_committed_upto t;
+              progress := true
+            end
+            else if
+              t.d.cfg.Config.tentative_execution
+              && t.active
+              && Log.prepared t.log ~view:t.view ~seq:n
+              && t.committed_upto = n - 1
+            then begin
+              execute_batch t n ~tentative:true;
+              progress := true
+            end
+          end
+      | _ -> ()
+    end
+  done;
+  update_committed_upto t;
+  (* newly committed tentative executions can trigger checkpoint
+     announcements *)
+  let announce, keep =
+    List.partition (fun n -> n <= t.committed_upto) t.pending_ckpt_announce
+  in
+  t.pending_ckpt_announce <- keep;
+  List.iter (fun n -> announce_checkpoint t n) (List.sort compare announce);
+  try_stabilize t;
+  flush_read_only t;
+  (* execution slides the primary's window forward *)
+  !process_queue_ref t
+
+let () = try_execute_ref := try_execute
+
+(* ------------------------------------------------------------------ *)
+(* Normal case: primary                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sliding-window bound on concurrent protocol instances (Section 5.1.4):
+   the primary may run at most [window] instances beyond the last executed
+   batch, and never outside the log's water marks. *)
+let in_send_window t n =
+  n > Log.low_mark t.log
+  && n <= t.last_exec + t.d.cfg.Config.window
+  && Log.in_window t.log n
+
+let send_pre_prepare t batch nondet =
+  let n = t.seqno + 1 in
+  t.seqno <- n;
+  let pp = { pp_view = t.view; pp_seq = n; pp_batch = batch; pp_nondet = nondet } in
+  let d = store_batch t pp in
+  charge t (Costs.digest_us t.costs (Wire.size (Pre_prepare pp)));
+  ignore (Log.accept_pre_prepare t.log ~view:t.view pp d);
+  (Log.find t.log n).Log.self_preprepared <- true;
+  if t.byzantine then begin
+    (* equivocation: a conflicting assignment for the same sequence number
+       is sent to half the backups *)
+    let batch2 = [] and nondet2 = nondet ^ "evil" in
+    let pp2 = { pp with pp_batch = batch2; pp_nondet = nondet2 } in
+    ignore (store_batch t pp2);
+    let others = List.filter (fun i -> i <> t.id) (replica_ids t) in
+    let g1 = List.filteri (fun i _ -> i mod 2 = 0) others in
+    let g2 = List.filteri (fun i _ -> i mod 2 = 1) others in
+    List.iter (fun dst -> send_to t ~dst (Pre_prepare pp)) g1;
+    List.iter (fun dst -> send_to t ~dst (Pre_prepare pp2)) g2
+  end
+  else broadcast t (Pre_prepare pp);
+  try_execute t
+
+let process_queue t =
+  if is_primary t && t.active && not (is_recovering t && t.seqno >= t.hm_bound) then begin
+    let continue = ref true in
+    while !continue && t.queue <> [] && in_send_window t (t.seqno + 1) && allowed_seq t (t.seqno + 1) do
+      let cfg = t.d.cfg in
+      let take = if cfg.Config.batching then cfg.Config.max_batch else 1 in
+      let rec split k acc rest =
+        match rest with
+        | r :: tl when k > 0 -> split (k - 1) (r :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let chosen, rest = split take [] t.queue in
+      t.queue <- rest;
+      List.iter
+        (fun r ->
+          let d = Wire.request_digest r in
+          Hashtbl.remove t.queued d;
+          Hashtbl.replace t.assigned d ())
+        chosen;
+      if chosen = [] then continue := false
+      else begin
+        let elems =
+          List.map
+            (fun r ->
+              let d = Wire.request_digest r in
+              if String.length r.op > cfg.Config.separate_tx_threshold then By_digest d
+              else
+                let tok =
+                  match Hashtbl.find_opt t.requests d with
+                  | Some sr -> sr.sr_token
+                  | None -> Auth_none
+                in
+                Inline (r, tok))
+            chosen
+        in
+        (* non-deterministic choice for the batch: virtual wall clock
+           (Section 5.4) *)
+        let nondet = Int64.to_string (now t) in
+        send_pre_prepare t elems nondet
+      end
+    done;
+    (* null-request filler during recoveries *)
+    while
+      t.queue = []
+      && Checkpoint_store.stable_seq t.ckpts < t.null_fill_until
+      && t.seqno < t.null_fill_until
+      && in_send_window t (t.seqno + 1)
+      && allowed_seq t (t.seqno + 1)
+    do
+      send_pre_prepare t [] (Int64.to_string (now t))
+    done
+  end
+
+let () = process_queue_ref := process_queue
+
+(* Accept and queue a client request (primary) or relay it (backup). *)
+let handle_request t (req : request) token ~verified ~relayed =
+  let d = Wire.request_digest req in
+  charge t (Costs.digest_us t.costs (Wire.size (Request req)));
+  let last_t =
+    match Hashtbl.find_opt t.last_reply req.client with Some (ts, _, _) -> ts | None -> -1L
+  in
+  if Int64.compare req.timestamp last_t < 0 then ()
+  else if Int64.compare req.timestamp last_t = 0 then begin
+    (* already executed: retransmit cached reply *)
+    match Hashtbl.find_opt t.last_reply req.client with
+    | Some (ts, result, _) ->
+        send_to t ~dst:req.client
+          (Reply
+             {
+               rp_view = t.view;
+               rp_timestamp = ts;
+               rp_client = req.client;
+               rp_replica = t.id;
+               rp_tentative = false;
+               rp_result = Full result;
+             })
+    | None -> ()
+  end
+  else begin
+    ignore (store_request t req token verified);
+    !retry_deferred_pps_ref t;
+    if req.read_only && t.d.cfg.Config.read_only_opt && verified then begin
+      t.pending_ro <- req :: t.pending_ro;
+      flush_read_only t
+    end
+    else if is_primary t then begin
+      if verified && not (Hashtbl.mem t.queued d) && not (Hashtbl.mem t.assigned d) then begin
+        t.queue <- t.queue @ [ req ];
+        Hashtbl.replace t.queued d ();
+        process_queue t
+      end
+    end
+    else begin
+      note_waiting t d;
+      if not relayed then
+        (* relay to the primary with the client's token intact *)
+        if not t.muted then begin
+          let env = { sender = t.id; body = Request req; auth = token } in
+          Network.send t.d.net ~src:t.id ~dst:(primary t)
+            ~size:(Wire.envelope_size env) env
+        end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Normal case: backups                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let request_authentic t elem batch_digest =
+  match elem with
+  | By_digest d -> (
+      match Hashtbl.find_opt t.requests d with
+      | Some sr -> sr.sr_verified
+      | None -> false)
+  | Inline (r, tok) -> (
+      let d = Wire.request_digest r in
+      match Hashtbl.find_opt t.requests d with
+      | Some sr when sr.sr_verified -> true (* condition 3 *)
+      | _ ->
+          (* condition 1: our MAC entry in the client's token *)
+          verify_token t ~claimed:r.client (Request r) tok
+          ||
+          (* condition 2: f prepares carrying the batch digest *)
+          let count = ref 0 in
+          Log.iter_window t.log (fun e ->
+              Hashtbl.iter
+                (fun _ (_, d') -> if String.equal d' batch_digest then incr count)
+                e.Log.prepares);
+          !count >= t.d.cfg.Config.f)
+
+let send_prepare t ~view ~seq digest =
+  if allowed_seq t seq then begin
+    let p = { pr_view = view; pr_seq = seq; pr_digest = digest; pr_replica = t.id } in
+    Log.add_prepare t.log p;
+    (Log.find t.log seq).Log.self_preprepared <- true;
+    broadcast t (Prepare p)
+  end
+
+let send_commit t ~view ~seq digest =
+  if allowed_seq t seq then begin
+    let c = { cm_view = view; cm_seq = seq; cm_digest = digest; cm_replica = t.id } in
+    Log.add_commit t.log c;
+    broadcast t (Commit c)
+  end
+
+let check_prepared_to_commit t ~seq =
+  match Log.entry t.log seq with
+  | Some e when e.Log.pp_digest <> None ->
+      let d = Option.get e.Log.pp_digest in
+      if
+        Log.prepared t.log ~view:t.view ~seq
+        && not (Hashtbl.mem e.Log.commits t.id)
+      then send_commit t ~view:t.view ~seq d;
+      try_execute t
+  | _ -> ()
+
+let has_new_view t v = v = 0 || Hashtbl.mem t.new_views v
+
+let accept_pre_prepare t (pp : pre_prepare) =
+  let v = pp.pp_view and n = pp.pp_seq in
+  if
+    t.active && v = t.view
+    && (not (is_primary t))
+    && Log.in_window t.log n
+    && has_new_view t v
+    && not t.byzantine
+  then begin
+    let d = Wire.batch_digest pp.pp_batch pp.pp_nondet in
+    charge t (Costs.digest_us t.costs (Wire.size (Pre_prepare pp)));
+    (* backups vet the primary's non-deterministic choice (Section 5.4):
+       here, the virtual timestamp must not be in the future *)
+    let nondet_ok =
+      match Int64.of_string_opt pp.pp_nondet with
+      | Some ts -> Int64.compare ts (Int64.add (now t) 1_000_000_000L) <= 0
+      | None -> String.equal d Wire.null_batch_digest
+    in
+    let already =
+      match Log.entry t.log n with
+      | Some e -> e.Log.pp_view = v && e.Log.pp_digest <> None && not (String.equal (Option.get e.Log.pp_digest) d)
+      | None -> false
+    in
+    if nondet_ok && not already then begin
+      let authentic = List.for_all (fun e -> request_authentic t e d) pp.pp_batch in
+      let have_bodies =
+        List.for_all
+          (fun e -> match e with By_digest dd -> Hashtbl.mem t.requests dd | Inline _ -> true)
+          pp.pp_batch
+      in
+      if authentic && have_bodies then begin
+        ignore (store_batch t pp);
+        if Log.accept_pre_prepare t.log ~view:v pp d then begin
+          List.iter
+            (fun e ->
+              match resolve_elem t e with
+              | Some r ->
+                  let last =
+                    match Hashtbl.find_opt t.last_reply r.client with
+                    | Some (ts, _, _) -> ts
+                    | None -> -1L
+                  in
+                  if Int64.compare r.timestamp last > 0 then
+                    note_waiting t (Wire.request_digest r)
+              | None -> ())
+            pp.pp_batch;
+          send_prepare t ~view:v ~seq:n d;
+          check_prepared_to_commit t ~seq:n
+        end
+      end
+      else begin
+        (* cannot authenticate yet: defer and fetch missing bodies
+           (Sections 3.2.2 and 5.1.5) *)
+        t.deferred_pps <- pp :: t.deferred_pps;
+        List.iter
+          (fun e ->
+            match e with
+            | By_digest dd when not (Hashtbl.mem t.requests dd) ->
+                broadcast t (Fetch_request { fr_digest = dd; fr_replica = t.id })
+            | _ -> ())
+          pp.pp_batch
+      end
+    end
+  end
+
+let retry_deferred_pps t =
+  let pps = t.deferred_pps in
+  t.deferred_pps <- [];
+  List.iter (fun pp -> accept_pre_prepare t pp) pps
+
+let () = retry_deferred_pps_ref := retry_deferred_pps
+
+let handle_prepare t (p : prepare) =
+  if p.pr_view = t.view && Log.in_window t.log p.pr_seq && p.pr_replica <> primary_of t p.pr_view
+  then begin
+    Log.add_prepare t.log p;
+    retry_deferred_pps t;
+    check_prepared_to_commit t ~seq:p.pr_seq
+  end
+
+let handle_commit t (c : commit) =
+  if c.cm_view <= t.view && Log.in_window t.log c.cm_seq then begin
+    Log.add_commit t.log c;
+    try_execute t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes (Section 3.2.4)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Compute the P and Q sets from the log and the previous sets (Fig 3-2). *)
+let compute_pq t =
+  let h = Log.low_mark t.log in
+  let pset' = Hashtbl.create 16 and qset' = Hashtbl.create 16 in
+  for n = h + 1 to h + t.d.cfg.Config.log_size do
+    let log_prepared, log_preprepared, digest_view =
+      match Log.entry t.log n with
+      | Some e when e.Log.pp_digest <> None ->
+          let d = Option.get e.Log.pp_digest in
+          let v = e.Log.pp_view in
+          ( Log.prepared t.log ~view:v ~seq:n || Log.committed t.log ~view:v ~seq:n,
+            e.Log.self_preprepared,
+            Some (d, v) )
+      | _ -> (false, false, None)
+    in
+    (match (log_prepared, digest_view) with
+    | true, Some (d, v) ->
+        Hashtbl.replace pset' n { pe_seq = n; pe_digest = d; pe_view = v }
+    | _ -> (
+        match Hashtbl.find_opt t.pset n with
+        | Some e -> Hashtbl.replace pset' n e
+        | None -> ()));
+    match (log_preprepared, digest_view) with
+    | true, Some (d, v) ->
+        let prev = match Hashtbl.find_opt t.qset n with Some l -> l | None -> [] in
+        let others = List.filter (fun (d', _) -> not (String.equal d' d)) prev in
+        Hashtbl.replace qset' n ((d, v) :: others)
+    | _ -> (
+        match Hashtbl.find_opt t.qset n with
+        | Some l -> Hashtbl.replace qset' n l
+        | None -> ())
+  done;
+  (pset', qset')
+
+let start_view_change t new_view =
+  if new_view > t.view then begin
+    t.counters.n_view_changes <- t.counters.n_view_changes + 1;
+    L.debug (fun m -> m "replica %d: view change %d -> %d" t.id t.view new_view);
+    t.view <- new_view;
+    t.active <- false;
+    stop_vc_timer t;
+    let pset', qset' = compute_pq t in
+    Hashtbl.reset t.pset;
+    Hashtbl.iter (Hashtbl.replace t.pset) pset';
+    Hashtbl.reset t.qset;
+    Hashtbl.iter (Hashtbl.replace t.qset) qset';
+    let pset_list =
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.pset []
+      |> List.sort (fun a b -> compare a.pe_seq b.pe_seq)
+    in
+    let qset_list =
+      Hashtbl.fold (fun n l acc -> { qe_seq = n; qe_entries = l } :: acc) t.qset []
+      |> List.sort (fun a b -> compare a.qe_seq b.qe_seq)
+    in
+    let vc =
+      {
+        vc_view = new_view;
+        vc_h = Checkpoint_store.stable_seq t.ckpts;
+        vc_cset = Checkpoint_store.held t.ckpts;
+        vc_pset = pset_list;
+        vc_qset = qset_list;
+        vc_replica = t.id;
+      }
+    in
+    Hashtbl.replace t.my_vcs new_view vc;
+    Hashtbl.replace t.vcs (new_view, t.id) (vc, true);
+    Log.clear_entries t.log;
+    Hashtbl.reset t.assigned;
+    t.pending_ckpt_announce <- [];
+    (* roll back any tentative executions: they may be replaced by null
+       requests in the new view (Section 5.1.2) *)
+    if t.last_exec > t.committed_upto then begin
+      let candidates =
+        List.filter (fun (s, _) -> s <= t.committed_upto) (Checkpoint_store.held t.ckpts)
+      in
+      match List.rev candidates with
+      | (s, _) :: _ -> (
+          match Checkpoint_store.tree_at t.ckpts s with
+          | Some tree ->
+              restore_snapshot t (Partition_tree.snapshot tree);
+              t.last_exec <- s;
+              t.committed_upto <- min t.committed_upto s
+          | None -> ())
+      | [] -> ()
+    end;
+    broadcast t (View_change vc);
+    (* view-change retry timer: if the new view does not activate in time,
+       move to the next one with a doubled timeout (liveness, 2.3.5) *)
+    t.vc_timeout_us <- t.vc_timeout_us *. 2.0;
+    t.vc_timer <-
+      Some
+        (Engine.schedule t.engine
+           ~delay:(Engine.of_us_float t.vc_timeout_us)
+           (fun () ->
+             t.vc_timer <- None;
+             if not t.active then !start_view_change_ref t (t.view + 1)));
+    !try_new_view_ref t
+  end
+
+let () = start_view_change_ref := start_view_change
+
+let ack_table t ~view ~origin =
+  match Hashtbl.find_opt t.acks (view, origin) with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.acks (view, origin) h;
+      h
+
+let handle_view_change t (vc : view_change) ~verified =
+  let v = vc.vc_view in
+  if v >= t.view && vc.vc_replica <> t.id then begin
+    (* reject messages whose P/Q components contain tuples for this or a
+       later view (Section 3.2.4) *)
+    let tuples_ok =
+      List.for_all (fun e -> e.pe_view < v) vc.vc_pset
+      && List.for_all
+           (fun q -> List.for_all (fun (_, qv) -> qv < v) q.qe_entries)
+           vc.vc_qset
+    in
+    if tuples_ok then begin
+      (match Hashtbl.find_opt t.vcs (v, vc.vc_replica) with
+      | Some (_, true) -> ()
+      | _ -> Hashtbl.replace t.vcs (v, vc.vc_replica) (vc, verified));
+      if verified then begin
+        (* acknowledge to the new primary (Section 3.2.4) *)
+        let d = Wire.view_change_digest vc in
+        let ack =
+          { va_view = v; va_replica = t.id; va_origin = vc.vc_replica; va_digest = d }
+        in
+        let prev = match Hashtbl.find_opt t.my_acks v with Some l -> l | None -> [] in
+        if not (List.exists (fun a -> a.va_origin = vc.vc_replica) prev) then begin
+          Hashtbl.replace t.my_acks v (ack :: prev);
+          send_to t ~dst:(primary_of t v) (View_change_ack ack)
+        end
+      end;
+      (* liveness rule: f+1 view-changes for views above ours force us to
+         join the smallest such view *)
+      if v > t.view then begin
+        let views =
+          Hashtbl.fold
+            (fun (v', sender) _ acc -> if v' > t.view && sender <> t.id then v' :: acc else acc)
+            t.vcs []
+        in
+        let senders v' =
+          Hashtbl.fold
+            (fun (v'', sender) _ acc -> if v'' = v' && sender <> t.id then sender :: acc else acc)
+            t.vcs []
+          |> List.sort_uniq compare
+        in
+        let candidate = List.sort_uniq compare views in
+        match List.find_opt (fun v' -> List.length (senders v') >= weak t) candidate with
+        | Some v' -> start_view_change t v'
+        | None -> ()
+      end;
+      !try_new_view_ref t;
+      !process_new_view_ref t
+    end
+  end
+
+let handle_view_change_ack t (a : view_change_ack) =
+  if a.va_view >= t.view && primary_of t a.va_view = t.id then begin
+    Hashtbl.replace (ack_table t ~view:a.va_view ~origin:a.va_origin) a.va_replica a.va_digest;
+    !try_new_view_ref t
+  end
+
+(* The new primary assembles S from acknowledged view-changes and tries to
+   decide (Fig 3-3). *)
+let try_new_view t =
+  let v = t.view in
+  if
+    (not t.active) && primary_of t v = t.id
+    && (not (Hashtbl.mem t.new_views v))
+    && not t.muted
+  then begin
+    (* S: our own view-change plus every view-change with 2f-1 acks *)
+    let s =
+      Hashtbl.fold
+        (fun (v', sender) (vc, _verified) acc ->
+          if v' <> v then acc
+          else if sender = t.id then (sender, vc) :: acc
+          else
+            let acks = ack_table t ~view:v ~origin:sender in
+            let d = Wire.view_change_digest vc in
+            let matching =
+              Hashtbl.fold
+                (fun acker d' n -> if acker <> sender && String.equal d d' then n + 1 else n)
+                acks 0
+            in
+            if matching >= (2 * t.d.cfg.Config.f) - 1 then (sender, vc) :: acc else acc)
+        t.vcs []
+    in
+    if List.length s >= quorum t then begin
+      match Nv_decision.decide t.d.cfg s ~has_batch:(fun d -> have_batch_bodies t d) with
+      | Nv_decision.Wait ->
+          (* fetch batch bodies that block decisions *)
+          List.iter
+            (fun (_, vc) ->
+              List.iter
+                (fun e ->
+                  if not (have_batch_bodies t e.pe_digest) then
+                    broadcast t (Fetch_batch { fb_digest = e.pe_digest; fb_replica = t.id }))
+                vc.vc_pset)
+            s
+      | Nv_decision.Decision { start; start_digest; chosen } ->
+          let nv =
+            {
+              nv_view = v;
+              nv_vcs = List.map (fun (sender, vc) -> (sender, Wire.view_change_digest vc)) s;
+              nv_start = start;
+              nv_start_digest = start_digest;
+              nv_chosen = chosen;
+            }
+          in
+          Hashtbl.replace t.new_views v nv;
+          broadcast t (New_view nv);
+          t.deferred_nv <- Some nv;
+          !process_new_view_ref t
+    end
+  end
+
+let () = try_new_view_ref := try_new_view
+
+(* ------------------------------------------------------------------ *)
+(* State transfer (Section 5.3.2)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pick_replier t =
+  let others = List.filter (fun i -> i <> t.id) (replica_ids t) in
+  List.nth others (Bft_util.Rng.int t.rng (List.length others))
+
+let send_fetch t ~level ~index =
+  match t.transfer with
+  | None -> ()
+  | Some tx ->
+      Hashtbl.replace tx.tx_pending (level, index) ();
+      broadcast t
+        (Fetch
+           {
+             ft_level = level;
+             ft_index = index;
+             ft_lc = Checkpoint_store.stable_seq t.ckpts;
+             ft_rc = tx.tx_target;
+             ft_replier = tx.tx_replier;
+             ft_replica = t.id;
+           })
+
+let rec transfer_retry t =
+  match t.transfer with
+  | None -> ()
+  | Some tx ->
+      tx.tx_replier <- pick_replier t;
+      Hashtbl.iter (fun (level, index) () -> send_fetch t ~level ~index)
+        (Hashtbl.copy tx.tx_pending);
+      tx.tx_timer <-
+        Some
+          (Engine.schedule t.engine ~delay:(Engine.of_us_float 30_000.0) (fun () ->
+               transfer_retry t))
+
+let start_transfer t ~target ~root_digest =
+  match t.transfer with
+  | Some tx when tx.tx_target >= target -> ()
+  | _ ->
+      (match t.transfer with
+      | Some tx -> ( match tx.tx_timer with Some h -> Engine.cancel h | None -> ())
+      | None -> ());
+      t.counters.n_state_transfers <- t.counters.n_state_transfers + 1;
+      L.debug (fun m -> m "replica %d: state transfer to %d" t.id target);
+      let tx =
+        {
+          tx_target = target;
+          tx_root_digest = root_digest;
+          tx_expected = Hashtbl.create 32;
+          tx_pending = Hashtbl.create 8;
+          tx_pages = Hashtbl.create 32;
+          tx_page_level = -1;
+          tx_num_pages = 0;
+          tx_ok_pages = Hashtbl.create 32;
+          tx_replier = pick_replier t;
+          tx_timer = None;
+        }
+      in
+      Hashtbl.replace tx.tx_expected (0, 0) (target, root_digest);
+      t.transfer <- Some tx;
+      send_fetch t ~level:0 ~index:0;
+      tx.tx_timer <-
+        Some
+          (Engine.schedule t.engine ~delay:(Engine.of_us_float 30_000.0) (fun () ->
+               transfer_retry t))
+
+let local_tree t = Checkpoint_store.latest t.ckpts
+
+let handle_fetch t (f : fetch) =
+  if f.ft_replica <> t.id then begin
+    let reply_from_tree tree =
+      let page_level = Partition_tree.depth tree - 1 in
+      if f.ft_level >= page_level then begin
+        if f.ft_index < Partition_tree.num_pages tree && f.ft_replier = t.id then begin
+          let p = Partition_tree.page tree f.ft_index in
+          send_plain t ~dst:f.ft_replica
+            (Data { dt_index = f.ft_index; dt_lm = p.Partition_tree.lm; dt_page = p.Partition_tree.data })
+        end
+      end
+      else if f.ft_replier = t.id || Partition_tree.seq tree > max f.ft_lc f.ft_rc then begin
+        let width =
+          if f.ft_level = 0 then 1
+          else
+            (* interior width is derivable from children of parents; accept
+               index if within the level *)
+            max_int
+        in
+        ignore width;
+        match Partition_tree.children tree ~level:f.ft_level ~index:f.ft_index with
+        | children ->
+            send_to t ~dst:f.ft_replica
+              (Meta_data
+                 {
+                   md_checkpoint = Partition_tree.seq tree;
+                   md_level = f.ft_level;
+                   md_index = f.ft_index;
+                   md_subparts = children;
+                   md_replica = t.id;
+                 })
+        | exception Invalid_argument _ -> ()
+      end
+    in
+    match Checkpoint_store.tree_at t.ckpts f.ft_rc with
+    | Some tree -> reply_from_tree tree
+    | None -> (
+        (* help with a newer stable checkpoint when the requested one is
+           gone (Section 5.3.2) *)
+        match Checkpoint_store.stable_tree t.ckpts with
+        | Some tree when Partition_tree.seq tree > max f.ft_lc f.ft_rc -> reply_from_tree tree
+        | _ -> ())
+  end
+
+(* Does the local current state already match the expected page digest? *)
+let local_page_matches t ~index ~lm ~digest =
+  match local_tree t with
+  | None -> false
+  | Some tree ->
+      index < Partition_tree.num_pages tree
+      &&
+      let p = Partition_tree.page tree index in
+      p.Partition_tree.lm = lm && String.equal p.Partition_tree.digest digest
+
+let check_transfer_done t =
+  match t.transfer with
+  | None -> ()
+  | Some tx ->
+      if Hashtbl.length tx.tx_pending = 0 && tx.tx_num_pages > 0 then begin
+        (* assemble the snapshot: fetched pages where we fetched, local pages
+           where they were proven current *)
+        let ok = ref true in
+        let buf = Buffer.create 4096 in
+        for i = 0 to tx.tx_num_pages - 1 do
+          match Hashtbl.find_opt tx.tx_pages i with
+          | Some p -> Buffer.add_string buf p.Partition_tree.data
+          | None ->
+              if Hashtbl.mem tx.tx_ok_pages i then begin
+                match local_tree t with
+                | Some tree -> Buffer.add_string buf (Partition_tree.page tree i).Partition_tree.data
+                | None -> ok := false
+              end
+              else ok := false
+        done;
+        if !ok then begin
+          let snapshot = Buffer.contents buf in
+          let tree =
+            Partition_tree.build ~seq:tx.tx_target ~page_size:t.d.page_size
+              ~branching:t.d.branching snapshot
+          in
+          charge t (Costs.digest_us t.costs (Partition_tree.digested_bytes tree));
+          if String.equal (Partition_tree.root_digest tree) tx.tx_root_digest then begin
+            (match tx.tx_timer with Some h -> Engine.cancel h | None -> ());
+            t.transfer <- None;
+            Checkpoint_store.install t.ckpts tree;
+            restore_snapshot t snapshot;
+            t.last_exec <- tx.tx_target;
+            t.committed_upto <- max t.committed_upto tx.tx_target;
+            t.seqno <- max t.seqno tx.tx_target;
+            Checkpoint_store.add_message t.ckpts
+              { ck_seq = tx.tx_target; ck_digest = tx.tx_root_digest; ck_replica = t.id };
+            announce_checkpoint t tx.tx_target;
+            try_stabilize t;
+            Log.truncate t.log tx.tx_target;
+            L.debug (fun m -> m "replica %d: state transfer to %d complete" t.id tx.tx_target);
+            try_execute t;
+            !recovery_step_ref t
+          end
+          else begin
+            (* root mismatch: restart the transfer from scratch *)
+            t.transfer <- None;
+            start_transfer t ~target:tx.tx_target ~root_digest:tx.tx_root_digest
+          end
+        end
+      end
+
+let () = check_transfer_done_ref := check_transfer_done
+
+let handle_meta_data t (m : meta_data) =
+  match t.transfer with
+  | None -> ()
+  | Some tx when m.md_checkpoint = tx.tx_target -> (
+      match Hashtbl.find_opt tx.tx_expected (m.md_level, m.md_index) with
+      | None -> ()
+      | Some (exp_lm, exp_digest) ->
+          (* verify: recompute the parent digest from the children *)
+          let lm = List.fold_left (fun acc (_, lm, _) -> max acc lm) 0 m.md_subparts in
+          let child_digests = List.map (fun (_, _, d) -> d) m.md_subparts in
+          let recomputed =
+            (* same construction as Partition_tree's interior digest *)
+            let acc =
+              List.fold_left
+                (fun acc d -> Bft_crypto.Adhash.add acc (Bft_crypto.Adhash.of_digest d))
+                Bft_crypto.Adhash.zero child_digests
+            in
+            let b = Buffer.create 64 in
+            Buffer.add_string b "META";
+            Buffer.add_string b (string_of_int m.md_level);
+            Buffer.add_char b ':';
+            Buffer.add_string b (string_of_int m.md_index);
+            Buffer.add_char b ':';
+            Buffer.add_string b (string_of_int lm);
+            Buffer.add_char b ':';
+            Buffer.add_string b (Bft_crypto.Adhash.to_string acc);
+            Bft_crypto.Sha256.digest (Buffer.contents b)
+          in
+          charge t (Costs.digest_us t.costs (32 * List.length child_digests));
+          if lm = exp_lm && String.equal recomputed exp_digest then begin
+            Hashtbl.remove tx.tx_pending (m.md_level, m.md_index);
+            t.counters.bytes_fetched <-
+              t.counters.bytes_fetched + Wire.size (Meta_data m);
+            (* determine whether children are pages: replies at level
+               [depth-2] describe pages; we learn depth when a child has no
+               further fan-out. Heuristic: ask for each mismatching child;
+               if the child turns out to be a page the replier answers DATA
+               (we request pages at [tx_page_level]). To keep the walk
+               simple we learn the remote depth from the local tree when
+               geometries match, else assume children of the lowest meta
+               level are pages. *)
+            let remote_page_level =
+              match local_tree t with
+              | Some tree -> Partition_tree.depth tree - 1
+              | None -> m.md_level + 1
+            in
+            if m.md_level + 1 >= remote_page_level then begin
+              tx.tx_page_level <- m.md_level + 1;
+              List.iter
+                (fun (idx, clm, cd) ->
+                  tx.tx_num_pages <- max tx.tx_num_pages (idx + 1);
+                  if local_page_matches t ~index:idx ~lm:clm ~digest:cd then
+                    Hashtbl.replace tx.tx_ok_pages idx ()
+                  else begin
+                    Hashtbl.replace tx.tx_expected (m.md_level + 1, idx) (clm, cd);
+                    send_fetch t ~level:(m.md_level + 1) ~index:idx
+                  end)
+                m.md_subparts
+            end
+            else
+              List.iter
+                (fun (idx, clm, cd) ->
+                  let local_match =
+                    match local_tree t with
+                    | Some tree -> (
+                        match Partition_tree.node_info tree ~level:(m.md_level + 1) ~index:idx with
+                        | llm, ld -> llm = clm && String.equal ld cd
+                        | exception Invalid_argument _ -> false)
+                    | None -> false
+                  in
+                  if local_match then begin
+                    (* whole subtree is current: mark its pages ok *)
+                    match local_tree t with
+                    | Some tree ->
+                        let rec mark level index =
+                          let page_level = Partition_tree.depth tree - 1 in
+                          if level = page_level then begin
+                            tx.tx_num_pages <- max tx.tx_num_pages (index + 1);
+                            Hashtbl.replace tx.tx_ok_pages index ()
+                          end
+                          else
+                            let first, last = Partition_tree.child_range tree ~level ~index in
+                            for c = first to last do
+                              mark (level + 1) c
+                            done
+                        in
+                        mark (m.md_level + 1) idx
+                    | None -> ()
+                  end
+                  else begin
+                    Hashtbl.replace tx.tx_expected (m.md_level + 1, idx) (clm, cd);
+                    send_fetch t ~level:(m.md_level + 1) ~index:idx
+                  end)
+                m.md_subparts;
+            check_transfer_done t
+          end)
+  | Some _ -> ()
+
+let handle_data t (dmsg : data) =
+  match t.transfer with
+  | None -> ()
+  | Some tx -> (
+      match Hashtbl.find_opt tx.tx_expected (tx.tx_page_level, dmsg.dt_index) with
+      | None -> ()
+      | Some (exp_lm, exp_digest) ->
+          let page =
+            Partition_tree.rebuild_page ~index:dmsg.dt_index ~lm:dmsg.dt_lm ~data:dmsg.dt_page
+          in
+          charge t (Costs.digest_us t.costs (String.length dmsg.dt_page));
+          if dmsg.dt_lm = exp_lm && String.equal page.Partition_tree.digest exp_digest then begin
+            Hashtbl.replace tx.tx_pages dmsg.dt_index page;
+            Hashtbl.remove tx.tx_pending (tx.tx_page_level, dmsg.dt_index);
+            t.counters.bytes_fetched <- t.counters.bytes_fetched + String.length dmsg.dt_page;
+            check_transfer_done t
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* New-view processing (primary and backups)                            *)
+(* ------------------------------------------------------------------ *)
+
+let vc_available t v (sender, digest) =
+  match Hashtbl.find_opt t.vcs (v, sender) with
+  | Some (vc, verified) ->
+      if not (String.equal (Wire.view_change_digest vc) digest) then None
+      else if verified then Some vc
+      else begin
+        (* accept an unverified view-change when f acks from other replicas
+           match the digest in the new-view (Section 3.2.4) *)
+        let acks = ack_table t ~view:v ~origin:sender in
+        let matching =
+          Hashtbl.fold
+            (fun acker d n ->
+              if acker <> sender && acker <> t.id && String.equal d digest then n + 1 else n)
+            acks 0
+        in
+        if matching >= t.d.cfg.Config.f then Some vc else None
+      end
+  | None -> None
+
+let enter_new_view t (nv : new_view) =
+  let v = nv.nv_view in
+  L.debug (fun m -> m "replica %d: entering view %d (start=%d)" t.id v nv.nv_start);
+  t.view <- v;
+  t.active <- true;
+  t.deferred_nv <- None;
+  stop_vc_timer t;
+  (* prune view-change state for views before this one *)
+  let prune_tbl tbl keep =
+    Hashtbl.iter (fun k _ -> if not (keep k) then Hashtbl.remove tbl k) (Hashtbl.copy tbl)
+  in
+  prune_tbl t.vcs (fun (v', _) -> v' >= v);
+  prune_tbl t.acks (fun (v', _) -> v' >= v);
+  prune_tbl t.my_acks (fun v' -> v' >= v);
+  prune_tbl t.my_vcs (fun v' -> v' >= v);
+  prune_tbl t.new_views (fun v' -> v' >= v);
+  (* align our state with the chosen start checkpoint *)
+  let have_start = Checkpoint_store.tree_at t.ckpts nv.nv_start <> None in
+  if t.last_exec > t.committed_upto then begin
+    (* discard tentative executions *)
+    let candidates =
+      List.filter
+        (fun (s, _) -> s <= t.committed_upto && s >= nv.nv_start)
+        (Checkpoint_store.held t.ckpts)
+    in
+    match List.rev candidates with
+    | (s, _) :: _ -> (
+        match Checkpoint_store.tree_at t.ckpts s with
+        | Some tree ->
+            restore_snapshot t (Partition_tree.snapshot tree);
+            t.last_exec <- s;
+            t.committed_upto <- s
+        | None -> ())
+    | [] ->
+        if have_start then begin
+          match Checkpoint_store.tree_at t.ckpts nv.nv_start with
+          | Some tree ->
+              restore_snapshot t (Partition_tree.snapshot tree);
+              t.last_exec <- nv.nv_start;
+              t.committed_upto <- nv.nv_start
+          | None -> ()
+        end
+  end;
+  if (not have_start) && t.last_exec < nv.nv_start then
+    start_transfer t ~target:nv.nv_start ~root_digest:nv.nv_start_digest;
+  if t.last_exec < nv.nv_start && have_start then begin
+    (match Checkpoint_store.tree_at t.ckpts nv.nv_start with
+    | Some tree ->
+        restore_snapshot t (Partition_tree.snapshot tree);
+        t.last_exec <- nv.nv_start;
+        t.committed_upto <- max t.committed_upto nv.nv_start
+    | None -> ())
+  end;
+  if Log.low_mark t.log < nv.nv_start then Log.truncate t.log nv.nv_start;
+  (* install the chosen pre-prepares and (as a backup) send prepares *)
+  let am_primary = primary_of t v = t.id in
+  List.iter
+    (fun c ->
+      let n = c.nc_seq in
+      if Log.in_window t.log n then begin
+        let batch, nondet =
+          if String.equal c.nc_digest Wire.null_batch_digest then ([], "null")
+          else
+            match Hashtbl.find_opt t.batches c.nc_digest with
+            | Some (b, nd) -> (b, nd)
+            | None -> ([], "null")
+        in
+        let pp = { pp_view = v; pp_seq = n; pp_batch = batch; pp_nondet = nondet } in
+        ignore (Log.accept_pre_prepare t.log ~view:v pp c.nc_digest);
+        (Log.find t.log n).Log.self_preprepared <- true;
+        if not am_primary then send_prepare t ~view:v ~seq:n c.nc_digest
+      end)
+    nv.nv_chosen;
+  if am_primary then
+    t.seqno <- List.fold_left (fun acc c -> max acc c.nc_seq) nv.nv_start nv.nv_chosen
+  else t.seqno <- 0;
+  (* redo the protocol; executions <= last_exec are skipped automatically *)
+  List.iter (fun c -> check_prepared_to_commit t ~seq:c.nc_seq) nv.nv_chosen;
+  try_execute t;
+  if Hashtbl.length t.waiting > 0 then start_vc_timer t;
+  process_queue t
+
+(* Validate and adopt a deferred new-view once all its view-changes (and
+   the chosen batches) are locally available. *)
+let process_new_view t =
+  match t.deferred_nv with
+  | None -> ()
+  | Some nv when nv.nv_view < t.view -> t.deferred_nv <- None
+  | Some nv ->
+      let v = nv.nv_view in
+      if primary_of t v = t.id then begin
+        (* the primary already validated its own decision *)
+        if Hashtbl.mem t.new_views v then begin
+          let missing =
+            List.filter (fun c -> not (have_batch_bodies t c.nc_digest)) nv.nv_chosen
+          in
+          if missing = [] then enter_new_view t nv
+          else
+            List.iter
+              (fun c -> broadcast t (Fetch_batch { fb_digest = c.nc_digest; fb_replica = t.id }))
+              missing
+        end
+      end
+      else begin
+        let vcs = List.filter_map (fun p -> vc_available t v p |> Option.map (fun vc -> (fst p, vc))) nv.nv_vcs in
+        if List.length vcs = List.length nv.nv_vcs && List.length vcs >= quorum t then begin
+          match Nv_decision.decide t.d.cfg vcs ~has_batch:(fun _ -> true) with
+          | Nv_decision.Decision { start; start_digest; chosen }
+            when start = nv.nv_start
+                 && String.equal start_digest nv.nv_start_digest
+                 && List.length chosen = List.length nv.nv_chosen
+                 && List.for_all2
+                      (fun a b -> a.nc_seq = b.nc_seq && String.equal a.nc_digest b.nc_digest)
+                      chosen nv.nv_chosen ->
+              let missing =
+                List.filter (fun c -> not (have_batch_bodies t c.nc_digest)) nv.nv_chosen
+              in
+              if missing = [] then begin
+                Hashtbl.replace t.new_views v nv;
+                enter_new_view t nv
+              end
+              else
+                List.iter
+                  (fun c ->
+                    broadcast t (Fetch_batch { fb_digest = c.nc_digest; fb_replica = t.id }))
+                  missing
+          | Nv_decision.Decision _ | Nv_decision.Wait ->
+              (* invalid or undecidable: move to the next view *)
+              start_view_change t (v + 1)
+        end
+      end
+
+let () = process_new_view_ref := process_new_view
+
+let handle_new_view t (nv : new_view) =
+  if nv.nv_view >= t.view && primary_of t nv.nv_view <> t.id && nv.nv_view > 0 then begin
+    if nv.nv_view > t.view then start_view_change t nv.nv_view;
+    (match t.deferred_nv with
+    | Some old when old.nv_view >= nv.nv_view -> ()
+    | _ -> t.deferred_nv <- Some nv);
+    process_new_view t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Status and retransmission (Section 5.2)                              *)
+(* ------------------------------------------------------------------ *)
+
+let send_status t =
+  (* a saturated single-threaded replica gets to its periodic work late;
+     skip the beat instead of accumulating unbounded CPU debt *)
+  let backlogged =
+    Network.backlog t.d.net ~id:t.id > 8
+    || Int64.compare (Network.busy_until t.d.net ~id:t.id)
+         (Int64.add (now t) (Engine.of_us_float t.d.cfg.Config.status_interval_us))
+       > 0
+  in
+  if backlogged then ()
+  else if t.active then begin
+    (* sa_prepared: prepared but not committed; sa_committed: committed *)
+    let prepared = ref [] and committed = ref [] in
+    Log.iter_window t.log (fun e ->
+        match e.Log.pp_digest with
+        | Some _ when Log.committed t.log ~view:t.view ~seq:e.Log.seq ->
+            committed := e.Log.seq :: !committed
+        | Some _ when Log.prepared t.log ~view:t.view ~seq:e.Log.seq ->
+            prepared := e.Log.seq :: !prepared
+        | _ -> ());
+    broadcast t
+      (Status_active
+         {
+           sa_replica = t.id;
+           sa_view = t.view;
+           sa_h = Log.low_mark t.log;
+           sa_last_exec = t.last_exec;
+           sa_prepared = !prepared;
+           sa_committed = !committed;
+         })
+  end
+  else begin
+    let seen =
+      Hashtbl.fold
+        (fun (v, sender) _ acc -> if v = t.view then sender :: acc else acc)
+        t.vcs []
+    in
+    broadcast t
+      (Status_pending
+         {
+           sp_replica = t.id;
+           sp_view = t.view;
+           sp_h = Log.low_mark t.log;
+           sp_last_exec = t.last_exec;
+           sp_has_new_view = has_new_view t t.view;
+           sp_vcs_seen = seen;
+         })
+  end
+
+let handle_status_active t (s : status_active) =
+  let r = s.sa_replica in
+  if r <> t.id then begin
+    if s.sa_view < t.view then begin
+      (* bring the replica to our view *)
+      match Hashtbl.find_opt t.my_vcs t.view with
+      | Some vc -> send_to t ~dst:r (View_change vc)
+      | None -> ()
+    end
+    else if s.sa_view = t.view && t.active then begin
+      (* retransmit our own protocol messages the peer is missing *)
+      Log.iter_window t.log (fun e ->
+          let n = e.Log.seq in
+          if n > s.sa_h then begin
+            match e.Log.pp_digest with
+            | Some _ ->
+                let peer_prepared = List.mem n s.sa_prepared || List.mem n s.sa_committed in
+                if not peer_prepared then begin
+                  (match e.Log.pp with
+                  | Some pp when primary_of t e.Log.pp_view = t.id && e.Log.pp_view = t.view ->
+                      send_to t ~dst:r (Pre_prepare pp)
+                  | _ -> ());
+                  match Hashtbl.find_opt e.Log.prepares t.id with
+                  | Some (v, d') when v = t.view ->
+                      send_to t ~dst:r
+                        (Prepare { pr_view = v; pr_seq = n; pr_digest = d'; pr_replica = t.id })
+                  | _ -> ()
+                end;
+                if not (List.mem n s.sa_committed) then begin
+                  match Hashtbl.find_opt e.Log.commits t.id with
+                  | Some (v, d') ->
+                      send_to t ~dst:r
+                        (Commit { cm_view = v; cm_seq = n; cm_digest = d'; cm_replica = t.id })
+                  | _ -> ()
+                end
+            | None -> ()
+          end)
+    end;
+    (* peer behind on checkpoints: retransmit our checkpoint message *)
+    let stable = Checkpoint_store.stable_seq t.ckpts in
+    if s.sa_h < stable then begin
+      match Checkpoint_store.stable_tree t.ckpts with
+      | Some tree ->
+          send_to t ~dst:r
+            (Checkpoint
+               {
+                 ck_seq = stable;
+                 ck_digest = Partition_tree.root_digest tree;
+                 ck_replica = t.id;
+               })
+      | None -> ()
+    end
+  end
+
+let handle_status_pending t (s : status_pending) =
+  let r = s.sp_replica in
+  if r <> t.id then begin
+    if s.sp_view <= t.view then begin
+      (* our view-change for the peer's pending view (or ours, to pull it
+         forward) *)
+      (match Hashtbl.find_opt t.my_vcs (max s.sp_view t.view) with
+      | Some vc -> if not (List.mem t.id s.sp_vcs_seen) || s.sp_view < t.view then send_to t ~dst:r (View_change vc)
+      | None -> ());
+      (* retransmit acks for view-changes the peer lacks *)
+      (match Hashtbl.find_opt t.my_acks s.sp_view with
+      | Some acks ->
+          List.iter
+            (fun a -> if not (List.mem a.va_origin s.sp_vcs_seen) then send_to t ~dst:r (View_change_ack a))
+            acks
+      | None -> ());
+      (* the primary retransmits the new-view *)
+      (match Hashtbl.find_opt t.new_views s.sp_view with
+      | Some nv when primary_of t s.sp_view = t.id && not s.sp_has_new_view ->
+          send_to t ~dst:r (New_view nv)
+      | _ -> ());
+      (* and the view-change messages backing it *)
+      if not s.sp_has_new_view then
+        Hashtbl.iter
+          (fun (v, sender) (vc, _) ->
+            if v = s.sp_view && not (List.mem sender s.sp_vcs_seen) then
+              send_to t ~dst:r (View_change vc))
+          t.vcs
+    end
+    else begin
+      (* the peer is ahead: catch up by joining its view change *)
+      handle_view_change t
+        {
+          vc_view = s.sp_view;
+          vc_h = s.sp_h;
+          vc_cset = [];
+          vc_pset = [];
+          vc_qset = [];
+          vc_replica = r;
+        }
+        ~verified:false
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Proactive recovery (Chapter 4)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Periodic key refresh (Section 4.3.1): replace the keys other replicas
+   use to send to us. Client-shared keys are refreshed by clients; they are
+   only discarded on recovery, when the attacker may know them. *)
+let send_new_key ?(drop_clients = false) t =
+  if drop_clients then Bft_crypto.Keychain.drop_all_in_keys t.d.keychain;
+  t.coproc_counter <- Int64.add t.coproc_counter 1L;
+  let keys =
+    List.filter_map
+      (fun peer ->
+        if peer = t.id then None
+        else Some (peer, Bft_crypto.Keychain.fresh_in_key t.d.keychain t.rng ~peer))
+      (replica_ids t)
+  in
+  broadcast t (New_key { nk_replica = t.id; nk_keys = keys; nk_counter = t.coproc_counter });
+  if drop_clients then begin
+    (* re-key every client we have served: each gets a fresh key to reach
+       us, in a signed point-to-point new-key message *)
+    let clients =
+      Hashtbl.fold (fun c _ acc -> if c >= t.d.cfg.Config.n then c :: acc else acc) t.last_reply []
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun client ->
+        t.coproc_counter <- Int64.add t.coproc_counter 1L;
+        let key = Bft_crypto.Keychain.fresh_in_key t.d.keychain t.rng ~peer:client in
+        let body =
+          New_key { nk_replica = t.id; nk_keys = [ (client, key) ]; nk_counter = t.coproc_counter }
+        in
+        if not t.muted then begin
+          let auth = sign_body t body in
+          let env = { sender = t.id; body; auth } in
+          Network.send t.d.net ~src:t.id ~dst:client ~size:(Wire.envelope_size env) env
+        end)
+      clients
+  end
+
+let handle_new_key t (nk : new_key) =
+  if nk.nk_replica <> t.id then begin
+    match List.assoc_opt t.id nk.nk_keys with
+    | Some key -> ignore (Bft_crypto.Keychain.install_out_key t.d.keychain ~peer:nk.nk_replica key)
+    | None -> ()
+  end
+
+let handle_query_stable t (q : query_stable) =
+  if q.qs_replica <> t.id then begin
+    let prepared_max = ref 0 in
+    Log.iter_window t.log (fun e ->
+        if Log.prepared t.log ~view:t.view ~seq:e.Log.seq then
+          prepared_max := max !prepared_max e.Log.seq);
+    send_to t ~dst:q.qs_replica
+      (Reply_stable
+         {
+           rs_checkpoint = Checkpoint_store.stable_seq t.ckpts;
+           rs_prepared = max !prepared_max t.committed_upto;
+           rs_replica = t.id;
+           rs_nonce = q.qs_nonce;
+         })
+  end
+
+(* Estimation (Section 4.3.2): find c_M such that 2f other replicas report
+   c <= c_M and f other replicas report p >= c_M; H_M = L + c_M. *)
+let try_finish_estimation t =
+  match t.recovering with
+  | Some rc when rc.rc_phase = `Estimating ->
+      let entries = Hashtbl.fold (fun r cp acc -> (r, cp) :: acc) rc.rc_est [] in
+      let candidates = List.map (fun (_, (c, _)) -> c) entries |> List.sort_uniq compare in
+      let viable c_m =
+        let others = List.filter (fun (r, _) -> r <> t.id) entries in
+        List.length (List.filter (fun (_, (c, _)) -> c <= c_m) others) >= 2 * t.d.cfg.Config.f
+        && List.length (List.filter (fun (_, (_, p)) -> p >= c_m) others) >= t.d.cfg.Config.f
+      in
+      (match List.rev (List.filter viable candidates) with
+      | c_m :: _ ->
+          let hm = c_m + t.d.cfg.Config.log_size in
+          rc.rc_est_hm <- hm;
+          t.hm_bound <- hm;
+          Checkpoint_store.drop_above t.ckpts hm;
+          rc.rc_phase <- `Waiting_recovery_reply;
+          (* recovery request through the normal protocol, signed by the
+             co-processor *)
+          t.coproc_counter <- Int64.add t.coproc_counter 1L;
+          let req =
+            {
+              op = "\x00RECOVERY:" ^ Int64.to_string t.coproc_counter;
+              timestamp = t.coproc_counter;
+              client = t.id;
+              read_only = false;
+              replier = t.id;
+            }
+          in
+          let token = Auth_sig (Bft_crypto.Signature.sign t.d.signer (Wire.encode (Request req))) in
+          charge t t.costs.Costs.sig_gen_us;
+          ignore (store_request t req token true);
+          rc.rc_request <- Some req;
+          if not t.muted then begin
+            let env = { sender = t.id; body = Request req; auth = token } in
+            Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
+              ~size:(Wire.envelope_size env) env
+          end
+      | [] -> ())
+  | _ -> ()
+
+(* Recovery pacing: retransmit the current phase's message until it gets a
+   response (the paper's replica "keeps retransmitting the query message",
+   Section 4.3.2). *)
+let rec recovery_tick t =
+  match t.recovering with
+  | None -> ()
+  | Some rc ->
+      (match rc.rc_phase with
+      | `Estimating -> broadcast t (Query_stable { qs_replica = t.id; qs_nonce = rc.rc_nonce })
+      | `Waiting_recovery_reply -> (
+          match rc.rc_request with
+          | Some req -> (
+              match Hashtbl.find_opt t.requests (Wire.request_digest req) with
+              | Some sr when not t.muted ->
+                  let env = { sender = t.id; body = Request req; auth = sr.sr_token } in
+                  Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
+                    ~size:(Wire.envelope_size env) env
+              | _ -> ())
+          | None -> ())
+      | `Fetching -> !recovery_step_ref t);
+      ignore
+        (Engine.schedule t.engine ~delay:(Engine.of_us_float 50_000.0) (fun () ->
+             recovery_tick t))
+
+let handle_reply_stable t (r : reply_stable) =
+  match t.recovering with
+  | Some rc when rc.rc_phase = `Estimating && Int64.equal r.rs_nonce rc.rc_nonce ->
+      let c, p =
+        match Hashtbl.find_opt rc.rc_est r.rs_replica with
+        | Some (c0, p0) -> (min c0 r.rs_checkpoint, max p0 r.rs_prepared)
+        | None -> (r.rs_checkpoint, r.rs_prepared)
+      in
+      Hashtbl.replace rc.rc_est r.rs_replica (c, p);
+      try_finish_estimation t
+  | _ -> ()
+
+(* After the recovery request commits, other replicas' replies tell us the
+   sequence number it executed at; recovery point H_R follows. *)
+let handle_recovery_reply t (rp : reply) =
+  match t.recovering with
+  | Some rc when rc.rc_phase = `Waiting_recovery_reply -> (
+      match rp.rp_result with
+      | Full s -> (
+          match int_of_string_opt s with
+          | Some seq ->
+              Hashtbl.replace rc.rc_replies rp.rp_replica seq;
+              if Hashtbl.length rc.rc_replies >= quorum t then begin
+                let seqs = Hashtbl.fold (fun _ s acc -> s :: acc) rc.rc_replies [] in
+                let l_r = List.fold_left max 0 seqs in
+                let k = t.d.cfg.Config.checkpoint_interval in
+                let h_r =
+                  max rc.rc_est_hm (((l_r + k - 1) / k * k) + t.d.cfg.Config.log_size)
+                in
+                rc.rc_recovery_point <- h_r;
+                rc.rc_phase <- `Fetching;
+                t.hm_bound <- h_r;
+                !recovery_step_ref t
+              end
+          | None -> ())
+      | Result_digest _ -> ())
+  | _ -> ()
+
+(* Check and fetch state: rebuild our partition tree from the (possibly
+   corrupt) current state and compare against a certified checkpoint. *)
+let recovery_step t =
+  match t.recovering with
+  | Some rc when rc.rc_phase = `Fetching -> (
+      (* find a certified recent checkpoint to check against *)
+      match
+        Checkpoint_store.certified_digest t.ckpts ~threshold:(weak t)
+      with
+      | Some (seq, digest) when seq > Checkpoint_store.stable_seq t.ckpts || t.transfer = None ->
+          let local =
+            match Checkpoint_store.tree_at t.ckpts seq with
+            | Some tree -> String.equal (Partition_tree.root_digest tree) digest
+            | None -> false
+          in
+          if not local then start_transfer t ~target:seq ~root_digest:digest
+      | _ -> ())
+  | _ -> ()
+
+let () = recovery_step_ref := recovery_step
+
+let begin_recovery t =
+  if t.recovering = None then begin
+    L.info (fun m -> m "replica %d: proactive recovery begins" t.id);
+    (* a recovering primary abdicates first (Section 4.3.2) *)
+    if is_primary t && t.active then broadcast t (View_change
+      { vc_view = t.view + 1; vc_h = Checkpoint_store.stable_seq t.ckpts;
+        vc_cset = []; vc_pset = []; vc_qset = []; vc_replica = t.id });
+    (* reboot: rebuild the partition tree from saved (possibly corrupt)
+       state so corruption is detectable *)
+    send_new_key ~drop_clients:true t;
+    let nonce = Bft_util.Rng.int64 t.rng in
+    t.recovering <-
+      Some
+        {
+          rc_phase = `Estimating;
+          rc_request = None;
+          rc_nonce = nonce;
+          rc_est = Hashtbl.create 8;
+          rc_est_hm = max_int;
+          rc_recovery_point = max_int;
+          rc_replies = Hashtbl.create 8;
+        };
+    broadcast t (Query_stable { qs_replica = t.id; qs_nonce = nonce });
+    ignore
+      (Engine.schedule t.engine ~delay:(Engine.of_us_float 50_000.0) (fun () ->
+           recovery_tick t))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fetch helpers for batches / requests                                 *)
+(* ------------------------------------------------------------------ *)
+
+let handle_fetch_batch t (f : fetch_batch) =
+  if f.fb_replica <> t.id then
+    match Hashtbl.find_opt t.batches f.fb_digest with
+    | Some (batch, nondet) ->
+        send_to t ~dst:f.fb_replica
+          (Batch_data { bd_digest = f.fb_digest; bd_batch = batch; bd_nondet = nondet })
+    | None -> ()
+
+let handle_batch_data t (bd : batch_data) =
+  let d = Wire.batch_digest bd.bd_batch bd.bd_nondet in
+  charge t (Costs.digest_us t.costs (Wire.size (Batch_data bd)));
+  if String.equal d bd.bd_digest then begin
+    Hashtbl.replace t.batches d (bd.bd_batch, bd.bd_nondet);
+    List.iter
+      (fun e ->
+        match e with
+        | Inline (r, tok) -> ignore (store_request t r tok false)
+        | By_digest _ -> ())
+      bd.bd_batch;
+    !retry_deferred_pps_ref t;
+    !try_new_view_ref t;
+    process_new_view t;
+    try_execute t
+  end
+
+let handle_fetch_request t (f : fetch_request) =
+  if f.fr_replica <> t.id then
+    match Hashtbl.find_opt t.requests f.fr_digest with
+    | Some sr ->
+        if not t.muted then begin
+          let env = { sender = t.id; body = Request sr.sr_req; auth = sr.sr_token } in
+          Network.send t.d.net ~src:t.id ~dst:f.fr_replica ~size:(Wire.envelope_size env) env
+        end
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint message handling                                          *)
+(* ------------------------------------------------------------------ *)
+
+let handle_checkpoint_msg t (c : checkpoint) =
+  if c.ck_seq > Checkpoint_store.stable_seq t.ckpts then begin
+    Checkpoint_store.add_message t.ckpts c;
+    try_stabilize t;
+    (* if a certified checkpoint is beyond our window, we are out of date:
+       fetch it (Section 5.3.2) *)
+    (match Checkpoint_store.certified_digest t.ckpts ~threshold:(weak t) with
+    | Some (seq, digest) when seq >= t.last_exec + t.d.cfg.Config.checkpoint_interval ->
+        start_transfer t ~target:seq ~root_digest:digest
+    | _ -> ());
+    recovery_step t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let verify_envelope t (env : envelope) =
+  match env.body with
+  | Request r -> verify_token t ~claimed:r.client env.body env.auth
+  | Data _ -> true (* verified against digests, Section 5.3.2 *)
+  | New_key nk -> (
+      match env.auth with
+      | Auth_sig s ->
+          charge t t.costs.Costs.sig_verify_us;
+          s.Bft_crypto.Signature.signer_id = nk.nk_replica
+          && Bft_crypto.Signature.verify t.d.registry s (Wire.encode env.body)
+      | _ -> false)
+  | _ -> verify_token t ~claimed:env.sender env.body env.auth
+
+let handle t (env : envelope) =
+  let verified = verify_envelope t env in
+  match env.body with
+  | Request r ->
+      let relayed = env.sender <> r.client in
+      if verified || is_primary t then handle_request t r env.auth ~verified ~relayed
+  | Reply rp -> if verified && rp.rp_client = t.id then handle_recovery_reply t rp
+  | Pre_prepare pp ->
+      if verified && env.sender = primary_of t pp.pp_view then accept_pre_prepare t pp
+  | Prepare p -> if verified && env.sender = p.pr_replica then handle_prepare t p
+  | Commit c -> if verified && env.sender = c.cm_replica then handle_commit t c
+  | Checkpoint c -> if verified && env.sender = c.ck_replica then handle_checkpoint_msg t c
+  | View_change vc ->
+      if env.sender = vc.vc_replica then handle_view_change t vc ~verified
+  | View_change_ack a -> if verified && env.sender = a.va_replica then handle_view_change_ack t a
+  | New_view nv -> if verified && env.sender = primary_of t nv.nv_view then handle_new_view t nv
+  | Fetch f -> if verified && env.sender = f.ft_replica then handle_fetch t f
+  | Meta_data m -> if verified && env.sender = m.md_replica then handle_meta_data t m
+  | Data d -> handle_data t d
+  | Status_active s -> if verified && env.sender = s.sa_replica then handle_status_active t s
+  | Status_pending s -> if verified && env.sender = s.sp_replica then handle_status_pending t s
+  | New_key nk -> if verified then handle_new_key t nk
+  | Query_stable q -> if verified && env.sender = q.qs_replica then handle_query_stable t q
+  | Reply_stable r -> if verified && env.sender = r.rs_replica then handle_reply_stable t r
+  | Fetch_batch f -> if verified && env.sender = f.fb_replica then handle_fetch_batch t f
+  | Batch_data bd -> if verified then handle_batch_data t bd
+  | Fetch_request f -> if verified && env.sender = f.fr_replica then handle_fetch_request t f
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create d ~id =
+  let engine = Network.engine d.net in
+  let t =
+    {
+      d;
+      id;
+      engine;
+      costs = Network.costs d.net;
+      rng = Bft_util.Rng.split d.rng;
+      counters =
+        {
+          n_executed = 0;
+          n_batches = 0;
+          n_view_changes = 0;
+          n_checkpoints = 0;
+          n_state_transfers = 0;
+          n_recoveries = 0;
+          bytes_fetched = 0;
+        };
+      view = 0;
+      seqno = 0;
+      last_exec = 0;
+      committed_upto = 0;
+      log = Log.create d.cfg;
+      ckpts = Checkpoint_store.create d.cfg ~page_size:d.page_size ~branching:d.branching;
+      batches = Hashtbl.create 64;
+      requests = Hashtbl.create 64;
+      queue = [];
+      queued = Hashtbl.create 16;
+      assigned = Hashtbl.create 16;
+      last_reply = Hashtbl.create 16;
+      deferred_pps = [];
+      pending_ro = [];
+      pending_ckpt_announce = [];
+      active = true;
+      pset = Hashtbl.create 16;
+      qset = Hashtbl.create 16;
+      my_vcs = Hashtbl.create 4;
+      vcs = Hashtbl.create 16;
+      acks = Hashtbl.create 16;
+      my_acks = Hashtbl.create 4;
+      new_views = Hashtbl.create 4;
+      vc_timer = None;
+      vc_timeout_us = d.cfg.Config.vc_timeout_us;
+      deferred_nv = None;
+      waiting = Hashtbl.create 16;
+      transfer = None;
+      recovering = None;
+      hm_bound = max_int;
+      coproc_counter = 0L;
+      last_recovery_reply = Hashtbl.create 4;
+      history = [];
+      byzantine = false;
+      muted = false;
+      null_fill_until = 0;
+      status_timer = None;
+      watchdog_timer = None;
+      key_timer = None;
+    }
+  in
+  Network.add_node d.net ~id ~handler:(fun env -> handle t env);
+  (* checkpoint 0: the genesis state, considered stable by construction *)
+  ignore (take_checkpoint t 0);
+  t
+
+let rec schedule_status t =
+  t.status_timer <-
+    Some
+      (Engine.schedule t.engine
+         ~delay:(Engine.of_us_float t.d.cfg.Config.status_interval_us)
+         (fun () ->
+           send_status t;
+           schedule_status t))
+
+let rec schedule_watchdog t delay_us =
+  t.watchdog_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:(Engine.of_us_float delay_us) (fun () ->
+           begin_recovery t;
+           schedule_watchdog t t.d.cfg.Config.watchdog_period_us))
+
+let rec schedule_key_refresh t =
+  t.key_timer <-
+    Some
+      (Engine.schedule t.engine
+         ~delay:(Engine.of_us_float t.d.cfg.Config.key_refresh_us)
+         (fun () ->
+           send_new_key t;
+           schedule_key_refresh t))
+
+let start t =
+  schedule_status t;
+  if t.d.cfg.Config.recovery then begin
+    (* stagger watchdogs so at most f replicas recover at once (4.3.3) *)
+    let offset =
+      t.d.cfg.Config.watchdog_period_us
+      *. (float_of_int (t.id + 1) /. float_of_int t.d.cfg.Config.n)
+    in
+    schedule_watchdog t (t.d.cfg.Config.watchdog_period_us +. offset);
+    schedule_key_refresh t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let debug_dump t =
+  Printf.sprintf
+    "r%d v=%d act=%b le=%d cu=%d seqno=%d stable=%d q=%d wait=%d defpp=%d nv=%b rec=%b hm=%d fill=%d"
+    t.id t.view t.active t.last_exec t.committed_upto t.seqno
+    (Checkpoint_store.stable_seq t.ckpts) (List.length t.queue) (Hashtbl.length t.waiting)
+    (List.length t.deferred_pps)
+    (t.deferred_nv <> None) (t.recovering <> None)
+    (if t.hm_bound = max_int then -1 else t.hm_bound)
+    t.null_fill_until
+
+let byzantine_equivocate t b = t.byzantine <- b
+let mute t b = t.muted <- b
+
+let corrupt_state t =
+  (* trash the service state behind the protocol's back *)
+  let s = t.d.service.Bft_sm.Service.snapshot () in
+  let s' =
+    if String.length s = 0 then "CORRUPT"
+    else String.init (String.length s) (fun i -> if i mod 7 = 0 then '\xff' else s.[i])
+  in
+  (try t.d.service.Bft_sm.Service.restore s' with _ -> ());
+  (* also corrupt retained checkpoint trees by rebuilding them from the
+     corrupted snapshot (the attacker controls the whole node) *)
+  let snap = full_snapshot t in
+  let stable = Checkpoint_store.stable_seq t.ckpts in
+  let tree =
+    Partition_tree.build ~seq:stable ~page_size:t.d.page_size ~branching:t.d.branching snap
+  in
+  Checkpoint_store.install t.ckpts tree
+
+let force_recovery t = begin_recovery t
+
+let crash_reboot t =
+  (* lose volatile state; keep identity and keys; rejoin via state transfer *)
+  Log.clear_entries t.log;
+  Hashtbl.reset t.batches;
+  Hashtbl.reset t.requests;
+  t.queue <- [];
+  Hashtbl.reset t.queued;
+  t.deferred_pps <- [];
+  t.pending_ro <- [];
+  t.deferred_nv <- None;
+  Hashtbl.reset t.waiting;
+  stop_vc_timer t;
+  t.active <- true;
+  send_status t

@@ -1,0 +1,45 @@
+(** Canonical wire encoding of protocol messages.
+
+    The encoding serves three purposes:
+    - the byte string over which MACs, authenticators and signatures are
+      computed (injective per message type, so authenticating the encoding
+      authenticates the message);
+    - the basis for message digests (request digests, batch digests,
+      view-change digests);
+    - the size model: the simulated network charges wire and CPU time per
+      encoded byte, plus the authentication token's own size.
+
+    Integers are 8-byte little-endian; variable-size fields are
+    length-prefixed; every message starts with a distinct tag byte. *)
+
+val encode : Message.t -> string
+
+val decode : string -> (Message.t, string) result
+(** Inverse of {!encode}: a message encodes/decodes to itself exactly
+    (authentication tokens inside inline batch elements are not part of the
+    wire image and decode as [Auth_none]). Malformed input yields a
+    human-readable [Error]. *)
+
+val size : Message.t -> int
+(** [size m = String.length (encode m)], computed without allocation of the
+    intermediate string where it matters. *)
+
+val auth_size : Message.auth_token -> int
+val envelope_size : Message.envelope -> int
+
+val request_digest : Message.request -> Message.digest
+(** Digest identifying a request: covers client, timestamp, operation and
+    flags. *)
+
+val batch_digest : Message.batch_elem list -> string -> Message.digest
+(** [batch_digest batch nondet] identifies the ordered content of a
+    pre-prepare independently of its view/sequence assignment, so a
+    re-proposal in a later view keeps the same digest. Inline requests
+    contribute their request digest. *)
+
+val null_batch_digest : Message.digest
+(** Digest of the null request batch chosen for gaps in new views. *)
+
+val view_change_digest : Message.view_change -> Message.digest
+val checkpoint_value_digest : string -> Message.digest
+val result_digest : string -> Message.digest

@@ -1,0 +1,1 @@
+lib/crypto/adhash.ml: Bytes Char String

@@ -1,0 +1,1 @@
+lib/crypto/auth.ml: Char Hmac Keychain List String

@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Bft_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/crypto/keychain.mli: Bft_util

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Bft_util Bytes Char Int64 String

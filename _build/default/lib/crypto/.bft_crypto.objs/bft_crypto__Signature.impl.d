@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Bft_util Hashtbl Hmac String

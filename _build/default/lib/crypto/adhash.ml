@@ -1,0 +1,39 @@
+(* Accumulator = 32 bytes little-endian, arithmetic modulo 2^256. *)
+
+type t = string
+
+let width = 32
+let zero = String.make width '\x00'
+
+let of_digest d =
+  if String.length d <> width then invalid_arg "Adhash.of_digest: need 32 bytes";
+  d
+
+let add a b =
+  let out = Bytes.create width in
+  let carry = ref 0 in
+  for i = 0 to width - 1 do
+    let s = Char.code a.[i] + Char.code b.[i] + !carry in
+    Bytes.set out i (Char.chr (s land 0xff));
+    carry := s lsr 8
+  done;
+  Bytes.unsafe_to_string out
+
+let sub a b =
+  let out = Bytes.create width in
+  let borrow = ref 0 in
+  for i = 0 to width - 1 do
+    let s = Char.code a.[i] - Char.code b.[i] - !borrow in
+    if s < 0 then begin
+      Bytes.set out i (Char.chr (s + 256));
+      borrow := 1
+    end
+    else begin
+      Bytes.set out i (Char.chr s);
+      borrow := 0
+    end
+  done;
+  Bytes.unsafe_to_string out
+
+let equal = String.equal
+let to_string t = t

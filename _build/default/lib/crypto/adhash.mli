@@ -1,0 +1,20 @@
+(** AdHash incremental collision-resistant hashing (Bellare-Micciancio).
+
+    Used for meta-data partition digests (Section 5.3.1): the digest of a
+    partition is a function of the {e sum modulo 2^256} of its
+    sub-partitions' digests, so it can be updated incrementally when one
+    sub-partition changes: [add (sub acc old) new]. *)
+
+type t
+(** A 32-byte accumulator (sum modulo 2^256). *)
+
+val zero : t
+val of_digest : string -> t
+(** Interpret a 32-byte SHA-256 digest as an accumulator element. Raises
+    [Invalid_argument] on wrong length. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val equal : t -> t -> bool
+val to_string : t -> string
+(** 32-byte little-endian representation, suitable for feeding to a hash. *)

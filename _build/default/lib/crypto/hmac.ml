@@ -1,0 +1,36 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\x00'
+
+let xor_pad key byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5c);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let mac_truncated ~key n msg =
+  let t = mac ~key msg in
+  if n >= String.length t then t else String.sub t 0 n
+
+let constant_time_eq a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end
+
+let verify ~key ~tag msg =
+  let n = String.length tag in
+  constant_time_eq tag (mac_truncated ~key n msg)

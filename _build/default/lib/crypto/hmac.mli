@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val mac_truncated : key:string -> int -> string -> string
+(** [mac_truncated ~key n msg] is the first [n] bytes of the tag. The BFT
+    library uses 8-byte tags (UMAC32-sized) in authenticators. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time comparison of [tag] against the recomputed (possibly
+    truncated) tag of the message. *)

@@ -1,0 +1,50 @@
+type key = { secret : string; epoch : int }
+
+type t = {
+  my_id : int;
+  in_keys : (int, key) Hashtbl.t; (* peer -> key peer uses to send to us *)
+  out_keys : (int, key) Hashtbl.t; (* peer -> key we use to send to peer *)
+  (* highest epoch ever issued per peer; survives drop_all_in_keys so that
+     post-recovery refreshed keys supersede the dropped ones *)
+  issued_epochs : (int, int) Hashtbl.t;
+}
+
+let create ~my_id =
+  {
+    my_id;
+    in_keys = Hashtbl.create 16;
+    out_keys = Hashtbl.create 16;
+    issued_epochs = Hashtbl.create 16;
+  }
+let my_id t = t.my_id
+
+let fresh_in_key t rng ~peer =
+  let epoch =
+    (match Hashtbl.find_opt t.issued_epochs peer with Some e -> e | None -> 0) + 1
+  in
+  Hashtbl.replace t.issued_epochs peer epoch;
+  let key = { secret = Bft_util.Rng.bytes rng 16; epoch } in
+  Hashtbl.replace t.in_keys peer key;
+  key
+
+let install_out_key t ~peer key =
+  let current_epoch =
+    match Hashtbl.find_opt t.out_keys peer with Some k -> k.epoch | None -> 0
+  in
+  if key.epoch > current_epoch then begin
+    Hashtbl.replace t.out_keys peer key;
+    true
+  end
+  else false
+
+let out_key t ~peer = Hashtbl.find_opt t.out_keys peer
+let in_key t ~peer = Hashtbl.find_opt t.in_keys peer
+
+let in_epoch t ~peer =
+  match Hashtbl.find_opt t.in_keys peer with Some k -> k.epoch | None -> 0
+
+let drop_all_in_keys t = Hashtbl.reset t.in_keys
+
+let peers_with_out_keys t =
+  Hashtbl.fold (fun peer _ acc -> peer :: acc) t.out_keys []
+  |> List.sort_uniq compare

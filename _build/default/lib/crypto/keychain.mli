@@ -1,0 +1,43 @@
+(** Pairwise session keys between principals, with refresh epochs.
+
+    Node identifiers are plain integers: the protocol layer assigns replicas
+    ids [0..n-1] and clients larger ids. A directional session key
+    [k(i -> j)] authenticates messages sent from [i] to [j]; it is generated
+    by the {e receiver} [j] and distributed in new-key messages (Section
+    4.3.1 of the paper). Each key carries the epoch in which it was created;
+    BFT-PR rejects messages authenticated with keys from old epochs. *)
+
+type t
+
+type key = { secret : string; epoch : int }
+
+val create : my_id:int -> t
+(** Empty keychain for principal [my_id]. *)
+
+val my_id : t -> int
+
+val fresh_in_key : t -> Bft_util.Rng.t -> peer:int -> key
+(** Generate a new key that [peer] must use to send to us, advance the
+    local epoch for that direction, install it as the current in-key, and
+    return it so that it can be shipped to [peer] in a new-key message. *)
+
+val install_out_key : t -> peer:int -> key -> bool
+(** Install the key we must use to send to [peer], as received from a
+    new-key message. Returns [false] (and ignores the key) if its epoch is
+    not newer than the currently installed one — stale new-key messages are
+    rejected, preventing suppress-replay attacks. *)
+
+val out_key : t -> peer:int -> key option
+(** Current key for authenticating messages we send to [peer]. *)
+
+val in_key : t -> peer:int -> key option
+(** Current key [peer] should be using to send to us. *)
+
+val in_epoch : t -> peer:int -> int
+(** Epoch of the current in-key for [peer]; 0 when none. *)
+
+val drop_all_in_keys : t -> unit
+(** Forget every in-key (used on recovery: the old keys may be known to an
+    attacker, so all peers are forced to obtain fresh keys). *)
+
+val peers_with_out_keys : t -> int list

@@ -1,0 +1,23 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The paper uses MD5 for message and state digests; we substitute SHA-256
+    (see DESIGN.md). Digest cost is charged separately by the network cost
+    model, so the choice of hash does not affect reproduced performance
+    shapes. *)
+
+type ctx
+
+val digest_size : int
+(** 32 bytes. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_sub : ctx -> string -> int -> int -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot digest of a full string. *)
+
+val hexdigest : string -> string

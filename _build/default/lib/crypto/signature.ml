@@ -1,0 +1,20 @@
+type signer = { id : int; secret : string }
+type registry = (int, string) Hashtbl.t
+type t = { signer_id : int; tag : string }
+
+let create_registry () : registry = Hashtbl.create 16
+
+let register registry rng id =
+  let secret = Bft_util.Rng.bytes rng 32 in
+  Hashtbl.replace registry id secret;
+  { id; secret }
+
+let sign signer msg = { signer_id = signer.id; tag = Hmac.mac ~key:signer.secret msg }
+let signer_id signer = signer.id
+
+let verify registry t msg =
+  match Hashtbl.find_opt registry t.signer_id with
+  | None -> false
+  | Some secret -> Hmac.verify ~key:secret ~tag:t.tag msg
+
+let forge ~signer_id = { signer_id; tag = String.make 32 '\x00' }

@@ -1,0 +1,1 @@
+lib/net/network.ml: Bft_sim Bft_util Costs Hashtbl Int64 List Printf Queue

@@ -1,0 +1,1 @@
+lib/net/network.mli: Bft_sim Bft_util Costs

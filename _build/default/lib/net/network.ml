@@ -1,0 +1,207 @@
+module Engine = Bft_sim.Engine
+
+type stat = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+}
+
+type 'msg node = {
+  mutable handler : 'msg -> unit;
+  mutable busy_until : Engine.time;
+  mutable crashed : bool;
+  (* messages that arrived while the CPU was busy, FIFO *)
+  backlog : (int * 'msg) Queue.t;
+  mutable draining : bool;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  rng : Bft_util.Rng.t;
+  nodes : (int, 'msg node) Hashtbl.t;
+  stat : stat;
+  mutable loss_rate : float;
+  mutable dup_rate : float;
+  mutable jitter_us : float;
+  mutable partition : (int list * int list) option;
+  mutable adversary :
+    (src:int -> dst:int -> 'msg -> [ `Pass | `Drop | `Delay of float ]) option;
+}
+
+let create ~engine ~costs ~rng () =
+  {
+    engine;
+    costs;
+    rng;
+    nodes = Hashtbl.create 32;
+    stat = { sent = 0; delivered = 0; dropped = 0; duplicated = 0; bytes_sent = 0 };
+    loss_rate = 0.0;
+    dup_rate = 0.0;
+    jitter_us = costs.Costs.jitter_us;
+    partition = None;
+    adversary = None;
+  }
+
+let engine t = t.engine
+let costs t = t.costs
+let stats t = t.stat
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Network: unknown node %d" id)
+
+let add_node t ~id ~handler =
+  if Hashtbl.mem t.nodes id then
+    invalid_arg (Printf.sprintf "Network.add_node: duplicate id %d" id);
+  Hashtbl.replace t.nodes id
+    { handler; busy_until = 0L; crashed = false; backlog = Queue.create (); draining = false }
+
+let set_handler t ~id ~handler = (node t id).handler <- handler
+
+let charge t ~id us =
+  let n = node t id in
+  let now = Engine.now t.engine in
+  let base = if Int64.compare n.busy_until now > 0 then n.busy_until else now in
+  n.busy_until <- Int64.add base (Engine.of_us_float us)
+
+let busy_until t ~id = (node t id).busy_until
+let backlog t ~id = Queue.length (node t id).backlog
+
+let partitioned t a b =
+  match t.partition with
+  | None -> false
+  | Some (g1, g2) ->
+      (List.mem a g1 && List.mem b g2) || (List.mem a g2 && List.mem b g1)
+
+(* Deliver [msg] to [dst]: wait for the wire, then for the destination CPU
+   to be free, charge receive cost, and invoke the handler. Arrivals while
+   the CPU is busy enter a FIFO backlog drained by a single scheduled event
+   (a single-server queue with O(1) events per message). *)
+let process t n ~size msg =
+  let now = Engine.now t.engine in
+  let cost = Costs.recv_cpu_us t.costs size in
+  n.busy_until <- Int64.add now (Engine.of_us_float cost);
+  t.stat.delivered <- t.stat.delivered + 1;
+  n.handler msg
+
+let rec drain t ~dst =
+  let n = node t dst in
+  if n.crashed then begin
+    Queue.clear n.backlog;
+    n.draining <- false
+  end
+  else begin
+    let now = Engine.now t.engine in
+    if Int64.compare n.busy_until now > 0 then
+      ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))
+    else
+      match Queue.take_opt n.backlog with
+      | None -> n.draining <- false
+      | Some (size, msg) ->
+          process t n ~size msg;
+          if Queue.is_empty n.backlog then n.draining <- false
+          else if Int64.compare n.busy_until now > 0 then
+            ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))
+          else ignore (Engine.schedule_at t.engine now (fun () -> drain t ~dst))
+  end
+
+let deliver t ~dst ~size msg =
+  let n = node t dst in
+  if not n.crashed then begin
+    let now = Engine.now t.engine in
+    if n.draining || Int64.compare n.busy_until now > 0 then begin
+      Queue.add (size, msg) n.backlog;
+      if not n.draining then begin
+        n.draining <- true;
+        ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))
+      end
+    end
+    else process t n ~size msg
+  end
+
+let transmit t ~src ~dst ~size ~depart msg =
+  let n_dst = node t dst in
+  if n_dst.crashed || partitioned t src dst then t.stat.dropped <- t.stat.dropped + 1
+  else begin
+    let verdict =
+      match t.adversary with
+      | None -> `Pass
+      | Some f -> f ~src ~dst msg
+    in
+    match verdict with
+    | `Drop -> t.stat.dropped <- t.stat.dropped + 1
+    | (`Pass | `Delay _) as v ->
+        if Bft_util.Rng.bernoulli t.rng t.loss_rate then
+          t.stat.dropped <- t.stat.dropped + 1
+        else begin
+          let extra = match v with `Delay us -> us | `Pass -> 0.0 in
+          let jitter =
+            if t.jitter_us > 0.0 then Bft_util.Rng.float t.rng t.jitter_us else 0.0
+          in
+          let wire = Costs.wire_us t.costs size +. jitter +. extra in
+          let arrival = Int64.add depart (Engine.of_us_float wire) in
+          ignore (Engine.schedule_at t.engine arrival (fun () -> deliver t ~dst ~size msg));
+          if Bft_util.Rng.bernoulli t.rng t.dup_rate then begin
+            t.stat.duplicated <- t.stat.duplicated + 1;
+            let extra_delay = Bft_util.Rng.float t.rng (2.0 *. t.costs.Costs.wire_latency_us) in
+            let arrival2 = Int64.add arrival (Engine.of_us_float extra_delay) in
+            ignore
+              (Engine.schedule_at t.engine arrival2 (fun () -> deliver t ~dst ~size msg))
+          end
+        end
+  end
+
+let departure t ~src ~size =
+  let n = node t src in
+  let now = Engine.now t.engine in
+  let base = if Int64.compare n.busy_until now > 0 then n.busy_until else now in
+  let depart = Int64.add base (Engine.of_us_float (Costs.send_cpu_us t.costs size)) in
+  n.busy_until <- depart;
+  depart
+
+let send t ~src ~dst ~size msg =
+  let n_src = node t src in
+  if not n_src.crashed then begin
+    t.stat.sent <- t.stat.sent + 1;
+    t.stat.bytes_sent <- t.stat.bytes_sent + size;
+    let depart = departure t ~src ~size in
+    transmit t ~src ~dst ~size ~depart msg
+  end
+
+let multicast t ~src ~dsts ~size msg =
+  let n_src = node t src in
+  if not n_src.crashed then begin
+    t.stat.sent <- t.stat.sent + 1;
+    t.stat.bytes_sent <- t.stat.bytes_sent + size;
+    let depart = departure t ~src ~size in
+    List.iter
+      (fun dst ->
+        if dst = src then
+          (* loopback: no wire, deliver as soon as the CPU is free *)
+          ignore (Engine.schedule_at t.engine depart (fun () -> deliver t ~dst ~size msg))
+        else transmit t ~src ~dst ~size ~depart msg)
+      dsts
+  end
+
+let set_loss_rate t p = t.loss_rate <- p
+let set_dup_rate t p = t.dup_rate <- p
+let set_jitter_us t j = t.jitter_us <- j
+let partition t g1 g2 = t.partition <- Some (g1, g2)
+let heal t = t.partition <- None
+
+let crash t ~id = (node t id).crashed <- true
+
+let restart t ~id =
+  let n = node t id in
+  n.crashed <- false;
+  Queue.clear n.backlog;
+  n.draining <- false;
+  n.busy_until <- Engine.now t.engine
+
+let is_crashed t ~id = (node t id).crashed
+let set_adversary t f = t.adversary <- Some f
+let clear_adversary t = t.adversary <- None

@@ -1,0 +1,85 @@
+(** Simulated unreliable datagram network with per-node CPU accounting.
+
+    Matches the paper's system model (Section 2.1): the network may fail to
+    deliver messages, delay them, duplicate them, or deliver them out of
+    order; it provides point-to-point sends and multicast to arbitrary
+    destination sets; it does not authenticate senders. An adversary hook
+    can additionally drop, delay or replay specific messages.
+
+    Each node owns a single virtual CPU. Receive processing and any crypto
+    work charged by the protocol layer ({!charge}) serialize on that CPU, so
+    overload produces queueing exactly as a real single-threaded replica
+    (the paper's replicas are single-threaded, Section 6.1). *)
+
+type 'msg t
+
+type stat = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+}
+
+val create :
+  engine:Bft_sim.Engine.t -> costs:Costs.t -> rng:Bft_util.Rng.t -> unit -> 'msg t
+
+val engine : 'msg t -> Bft_sim.Engine.t
+val costs : 'msg t -> Costs.t
+val stats : 'msg t -> stat
+
+val add_node : 'msg t -> id:int -> handler:('msg -> unit) -> unit
+(** Register a node. Raises [Invalid_argument] on duplicate ids. *)
+
+val set_handler : 'msg t -> id:int -> handler:('msg -> unit) -> unit
+(** Replace a node's handler (used when a replica reboots on recovery). *)
+
+val charge : 'msg t -> id:int -> float -> unit
+(** [charge t ~id us] consumes [us] microseconds of node [id]'s CPU,
+    pushing back every subsequent delivery to and send from that node. *)
+
+val busy_until : 'msg t -> id:int -> Bft_sim.Engine.time
+
+val backlog : 'msg t -> id:int -> int
+(** Number of messages waiting for the node's CPU. Periodic work in the
+    protocol layer consults this to yield under overload, like a real
+    single-threaded replica would. *)
+
+val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+(** Point-to-point datagram of [size] wire bytes. *)
+
+val multicast : 'msg t -> src:int -> dsts:int list -> size:int -> 'msg -> unit
+(** One send-CPU charge at the source (IP-multicast style), independent
+    per-link wire delays and faults. Self-delivery is permitted when [src]
+    is listed in [dsts]. *)
+
+(** {2 Fault injection} *)
+
+val set_loss_rate : 'msg t -> float -> unit
+(** Probability each link-level delivery is silently dropped. *)
+
+val set_dup_rate : 'msg t -> float -> unit
+(** Probability a delivered message is also delivered a second time after a
+    random extra delay. *)
+
+val set_jitter_us : 'msg t -> float -> unit
+(** Override the cost model's jitter (0 gives in-order links). *)
+
+val partition : 'msg t -> int list -> int list -> unit
+(** Drop all traffic between the two groups until {!heal}. *)
+
+val heal : 'msg t -> unit
+
+val crash : 'msg t -> id:int -> unit
+(** Stop delivering to the node and stop accepting its sends. *)
+
+val restart : 'msg t -> id:int -> unit
+
+val is_crashed : 'msg t -> id:int -> bool
+
+val set_adversary :
+  'msg t -> (src:int -> dst:int -> 'msg -> [ `Pass | `Drop | `Delay of float ]) -> unit
+(** Per-message adversary decision, consulted before normal loss; [`Delay]
+    adds the given microseconds of extra wire delay. *)
+
+val clear_adversary : 'msg t -> unit

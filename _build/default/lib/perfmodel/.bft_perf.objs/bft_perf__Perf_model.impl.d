@@ -1,0 +1,1 @@
+lib/perfmodel/perf_model.ml: Bft_core Bft_net List String

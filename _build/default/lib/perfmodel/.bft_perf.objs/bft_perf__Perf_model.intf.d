@@ -1,0 +1,1 @@
+lib/perfmodel/perf_model.mli: Bft_core Bft_net

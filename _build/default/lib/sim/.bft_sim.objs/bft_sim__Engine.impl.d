@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Bft_util Int64 Map

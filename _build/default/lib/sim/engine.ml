@@ -1,0 +1,100 @@
+type time = int64
+
+module Key = struct
+  type t = time * int (* fire time, scheduling sequence (tie break) *)
+
+  let compare (t1, s1) (t2, s2) =
+    match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c
+end
+
+module Queue = Map.Make (Key)
+
+type handle = { key : Key.t; mutable state : [ `Pending | `Fired | `Cancelled ] }
+
+type t = {
+  mutable clock : time;
+  mutable queue : (handle * (unit -> unit)) Queue.t;
+  mutable seq : int;
+  rng : Bft_util.Rng.t;
+}
+
+let create ?(seed = 1L) () =
+  { clock = 0L; queue = Queue.empty; seq = 0; rng = Bft_util.Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t at thunk =
+  let at = if Int64.compare at t.clock < 0 then t.clock else at in
+  let key = (at, t.seq) in
+  t.seq <- t.seq + 1;
+  let handle = { key; state = `Pending } in
+  t.queue <- Queue.add key (handle, thunk) t.queue;
+  handle
+
+let schedule t ~delay thunk =
+  if Int64.compare delay 0L < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (Int64.add t.clock delay) thunk
+
+let cancel handle = if handle.state = `Pending then handle.state <- `Cancelled
+let is_pending handle = handle.state = `Pending
+let pending_events t = Queue.cardinal t.queue
+
+let step t =
+  match Queue.min_binding_opt t.queue with
+  | None -> false
+  | Some (key, (handle, thunk)) ->
+      t.queue <- Queue.remove key t.queue;
+      let at, _ = key in
+      t.clock <- at;
+      if handle.state = `Pending then begin
+        handle.state <- `Fired;
+        thunk ()
+      end;
+      true
+
+let default_max_events = 100_000_000
+
+let next_time t =
+  match Queue.min_binding_opt t.queue with None -> None | Some ((at, _), _) -> Some at
+
+let run ?until ?(max_events = default_max_events) t =
+  let rec loop remaining =
+    if remaining <= 0 then ()
+    else
+      match next_time t with
+      | None -> ()
+      | Some at ->
+          let past_deadline =
+            match until with None -> false | Some u -> Int64.compare at u > 0
+          in
+          if past_deadline then ()
+          else if step t then loop (remaining - 1)
+  in
+  loop max_events
+
+let run_while t ?until pred =
+  let rec loop () =
+    if not (pred ()) then false
+    else
+      match next_time t with
+      | None -> true
+      | Some at ->
+          let past_deadline =
+            match until with None -> false | Some u -> Int64.compare at u > 0
+          in
+          if past_deadline then true
+          else begin
+            ignore (step t);
+            loop ()
+          end
+  in
+  loop ()
+
+let ns n = Int64.of_int n
+let us n = Int64.of_int (n * 1_000)
+let ms n = Int64.of_int (n * 1_000_000)
+let sec n = Int64.of_int (n * 1_000_000_000)
+let of_us_float f = Int64.of_float (f *. 1_000.0)
+let to_us t = Int64.to_float t /. 1_000.0
+let to_ms t = Int64.to_float t /. 1_000_000.0

@@ -1,0 +1,57 @@
+(** Deterministic discrete-event simulation engine.
+
+    Virtual time is measured in integer nanoseconds. Events scheduled at the
+    same instant fire in scheduling order (a monotonically increasing tie
+    break), so a run is fully determined by the seed and the program. The
+    engine replaces the asynchronous Internet of the paper's system model:
+    no component ever relies on virtual-time bounds for safety; timers only
+    drive retransmissions, view changes and watchdog recoveries. *)
+
+type t
+
+type time = int64
+(** Virtual nanoseconds since simulation start. *)
+
+type handle
+(** A scheduled event, cancellable. *)
+
+val create : ?seed:int64 -> unit -> t
+val now : t -> time
+val rng : t -> Bft_util.Rng.t
+(** The engine's root RNG; derive sub-streams with {!Bft_util.Rng.split}. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> handle
+(** Run the thunk [delay] nanoseconds from now. [delay < 0] is an error. *)
+
+val schedule_at : t -> time -> (unit -> unit) -> handle
+(** Run the thunk at an absolute time (clamped to [now]). *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val pending_events : t -> int
+
+val step : t -> bool
+(** Execute the next event. Returns [false] when the queue is empty. *)
+
+val run : ?until:time -> ?max_events:int -> t -> unit
+(** Drain the event queue, stopping when it is empty, when virtual time
+    would pass [until], or after [max_events] events (default 100 million,
+    a runaway guard). *)
+
+val run_while : t -> ?until:time -> (unit -> bool) -> bool
+(** Run while the predicate is true; returns the final predicate value
+    (so [false] means the condition was achieved, [true] means the queue
+    emptied or the deadline passed first). *)
+
+(** {2 Time helpers} *)
+
+val ns : int -> time
+val us : int -> time
+val ms : int -> time
+val sec : int -> time
+val of_us_float : float -> time
+val to_us : time -> float
+val to_ms : time -> float

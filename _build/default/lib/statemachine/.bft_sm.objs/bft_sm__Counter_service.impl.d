@@ -1,0 +1,1 @@
+lib/statemachine/counter_service.ml: Service String

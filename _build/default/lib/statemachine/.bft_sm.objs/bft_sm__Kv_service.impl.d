@@ -1,0 +1,1 @@
+lib/statemachine/kv_service.ml: Buffer Hashtbl List Printf Service String

@@ -1,0 +1,1 @@
+lib/statemachine/kv_service.mli: Service

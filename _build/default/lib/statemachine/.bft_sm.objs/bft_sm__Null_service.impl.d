@@ -1,0 +1,1 @@
+lib/statemachine/null_service.ml: Printf Service String

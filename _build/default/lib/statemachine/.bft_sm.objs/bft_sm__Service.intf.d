@@ -1,0 +1,1 @@
+lib/statemachine/service.mli:

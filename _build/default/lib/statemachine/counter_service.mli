@@ -1,0 +1,9 @@
+(** A tiny counter service, convenient for linearizability tests.
+
+    Operations: ["inc"] (returns new value), ["add <n>"] (returns new
+    value), ["get"] (read-only, returns value), ["set <n>"]. Malformed
+    operations return {!Service.invalid}. *)
+
+val create : unit -> Service.t
+val value : Service.t -> int
+(** Current counter value (test helper, reads via a "get" execution). *)

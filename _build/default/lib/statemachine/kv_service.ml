@@ -1,0 +1,119 @@
+let admin_client = 0
+
+type state = {
+  table : (string, string) Hashtbl.t;
+  mutable acl : int list option; (* None = open access *)
+}
+
+let encode_snapshot st =
+  let b = Buffer.create 256 in
+  (match st.acl with
+  | None -> Buffer.add_string b "open\n"
+  | Some l ->
+      Buffer.add_string b
+        ("acl " ^ String.concat "," (List.map string_of_int (List.sort compare l)) ^ "\n"));
+  let bindings =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.table [] |> List.sort compare
+  in
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%d %d %s%s\n" (String.length k) (String.length v) k v))
+    bindings;
+  Buffer.contents b
+
+let decode_snapshot st s =
+  Hashtbl.reset st.table;
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | first :: _ when first = "open" -> st.acl <- None
+  | first :: _ when String.length first > 4 && String.sub first 0 4 = "acl " ->
+      let ids = String.sub first 4 (String.length first - 4) in
+      st.acl <-
+        Some
+          (if ids = "" then []
+           else List.map int_of_string (String.split_on_char ',' ids))
+  | _ -> st.acl <- None);
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then
+        match String.index_opt line ' ' with
+        | None -> ()
+        | Some sp1 -> (
+            let klen = int_of_string (String.sub line 0 sp1) in
+            match String.index_from_opt line (sp1 + 1) ' ' with
+            | None -> ()
+            | Some sp2 ->
+                let vlen = int_of_string (String.sub line (sp1 + 1) (sp2 - sp1 - 1)) in
+                let k = String.sub line (sp2 + 1) klen in
+                let v = String.sub line (sp2 + 1 + klen) vlen in
+                Hashtbl.replace st.table k v))
+    lines
+
+let mutating op =
+  match String.split_on_char ' ' op with
+  | verb :: _ -> not (verb = "get" || verb = "size")
+  | [] -> true
+
+let create ?restrict () =
+  let st = { table = Hashtbl.create 64; acl = restrict } in
+  let has_access ~client op =
+    if client = admin_client then true
+    else if not (mutating op) then true
+    else match st.acl with None -> true | Some allowed -> List.mem client allowed
+  in
+  let execute ~client ~op ~nondet =
+    if not (has_access ~client op) then Service.denied
+    else
+      match String.split_on_char ' ' op with
+      | [ "put"; k; v ] ->
+          Hashtbl.replace st.table k v;
+          "ok"
+      | [ "get"; k ] -> (
+          match Hashtbl.find_opt st.table k with Some v -> v | None -> "ENOENT")
+      | [ "del"; k ] ->
+          if Hashtbl.mem st.table k then begin
+            Hashtbl.remove st.table k;
+            "ok"
+          end
+          else "ENOENT"
+      | [ "cas"; k; old_v; new_v ] -> (
+          match Hashtbl.find_opt st.table k with
+          | None -> "ENOENT"
+          | Some v when v = old_v ->
+              Hashtbl.replace st.table k new_v;
+              "ok"
+          | Some _ -> "EAGAIN")
+      | [ "touch"; k ] ->
+          Hashtbl.replace st.table k nondet;
+          nondet
+      | [ "grant"; c ] -> (
+          if client <> admin_client then Service.denied
+          else
+            match int_of_string_opt c with
+            | None -> Service.invalid
+            | Some c ->
+                (match st.acl with
+                | None -> st.acl <- Some [ c ]
+                | Some l -> if not (List.mem c l) then st.acl <- Some (c :: l));
+                "ok")
+      | [ "revoke"; c ] -> (
+          if client <> admin_client then Service.denied
+          else
+            match int_of_string_opt c with
+            | None -> Service.invalid
+            | Some c ->
+                (match st.acl with
+                | None -> st.acl <- Some []
+                | Some l -> st.acl <- Some (List.filter (fun x -> x <> c) l));
+                "ok")
+      | [ "size" ] -> string_of_int (Hashtbl.length st.table)
+      | _ -> Service.invalid
+  in
+  {
+    Service.name = "kv";
+    execute;
+    is_read_only = (fun op -> not (mutating op));
+    has_access;
+    exec_cost_us = (fun op -> 1.0 +. (0.001 *. float_of_int (String.length op)));
+    snapshot = (fun () -> encode_snapshot st);
+    restore = (fun s -> decode_snapshot st s);
+  }

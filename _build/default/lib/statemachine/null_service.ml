@@ -1,0 +1,32 @@
+let op ~read_only ~arg_size ~result_size =
+  let tag = if read_only then "ro" else "rw" in
+  let header = Printf.sprintf "%s:%d:" tag result_size in
+  let pad = max 0 (arg_size - String.length header) in
+  header ^ String.make pad 'x'
+
+let parse op =
+  match String.split_on_char ':' op with
+  | tag :: size :: _ when tag = "ro" || tag = "rw" -> (
+      match int_of_string_opt size with
+      | Some r when r >= 0 -> Some (tag = "ro", r)
+      | _ -> None)
+  | _ -> None
+
+let create ?(exec_cost_us = 0.0) () =
+  let count = ref 0 in
+  let execute ~client:_ ~op ~nondet:_ =
+    match parse op with
+    | None -> Service.invalid
+    | Some (read_only, r) ->
+        if not read_only then incr count;
+        String.make r '\x00'
+  in
+  {
+    Service.name = "null";
+    execute;
+    is_read_only = (fun op -> match parse op with Some (ro, _) -> ro | None -> false);
+    has_access = (fun ~client:_ _ -> true);
+    exec_cost_us = (fun _ -> exec_cost_us);
+    snapshot = (fun () -> string_of_int !count);
+    restore = (fun s -> count := int_of_string s);
+  }

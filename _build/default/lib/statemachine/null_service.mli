@@ -1,0 +1,13 @@
+(** The null service used by the latency/throughput micro-benchmarks
+    (Section 8.3): operations carry [a] bytes of argument and return [r]
+    bytes of result, with a no-op transition.
+
+    Operation encoding: ["ro:<r>:<pad>"] or ["rw:<r>:<pad>"] where [<r>] is
+    the requested result size in bytes and [<pad>] is argument padding.
+    [op ~read_only ~arg_size ~result_size] builds one. *)
+
+val op : read_only:bool -> arg_size:int -> result_size:int -> string
+
+val create : ?exec_cost_us:float -> unit -> Service.t
+(** The service counts executed operations in its state (so checkpoints are
+    not all identical), but results depend only on the requested size. *)

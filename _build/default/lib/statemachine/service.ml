@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  execute : client:int -> op:string -> nondet:string -> string;
+  is_read_only : string -> bool;
+  has_access : client:int -> string -> bool;
+  exec_cost_us : string -> float;
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+let denied = "EACCES"
+let invalid = "EINVAL"

@@ -1,0 +1,36 @@
+(** Deterministic state-machine service instances (paper Definition 2.4.1
+    and the library interface of Section 6.2).
+
+    A service executes opaque operation byte strings. The transition
+    function must be total and deterministic: the result and new state are
+    completely determined by the current state, the operation bytes, the
+    client identity, and the non-deterministic choice string agreed through
+    the protocol (Section 5.4). Invalid operations must return an error
+    result rather than raise.
+
+    [snapshot]/[restore] capture the full service state for checkpointing
+    and state transfer; they must satisfy [restore (snapshot ()) = identity]
+    on observable behaviour. *)
+
+type t = {
+  name : string;
+  execute : client:int -> op:string -> nondet:string -> string;
+      (** Total transition function; never raises. *)
+  is_read_only : string -> bool;
+      (** Service-specific upcall used by the read-only optimization
+          (Section 5.1.3): a faulty client may mark a mutating request
+          read-only, so the service itself vets it. *)
+  has_access : client:int -> string -> bool;
+      (** Access control (Section 2.2): deny before execution. *)
+  exec_cost_us : string -> float;
+      (** Virtual CPU cost of executing the operation, charged by the
+          simulator. *)
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+val denied : string
+(** Canonical result returned when [has_access] fails. *)
+
+val invalid : string
+(** Canonical result for malformed operations. *)

@@ -1,0 +1,13 @@
+(** Hexadecimal encoding of binary strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of [s], two characters per
+    byte. *)
+
+val decode : string -> string
+(** [decode h] inverts {!encode}. Raises [Invalid_argument] if [h] has odd
+    length or contains a non-hex character. *)
+
+val short : ?len:int -> string -> string
+(** [short d] is a truncated hex prefix of digest [d], for logs. Default
+    [len] is 8 hex characters. *)

@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: well-distributed even for sequential seeds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = int64 t in
+  create (mix (Int64.logxor s 0xA5A5A5A5A5A5A5A5L))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (int64 t) land max_int in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,20 @@
+(** Small statistics accumulator for benchmark reporting. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,1]; interpolated. Raises
+    [Invalid_argument] on an empty accumulator. *)
+
+val median : t -> float
+
+val summary : t -> string
+(** One-line ["mean=.. p50=.. p99=.. min=.. max=.. n=.."] rendering. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Bft_core Bft_sm Cluster Config List Printf String

@@ -1,0 +1,1 @@
+test/test_checkpoint_store.ml: Alcotest Bft_core Checkpoint_store Config List Message Partition_tree String

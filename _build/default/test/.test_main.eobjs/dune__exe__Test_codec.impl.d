@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bft_core Bft_crypto Int64 List Message QCheck QCheck_alcotest String Wire

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Adhash Alcotest Array Auth Bft_crypto Bft_util Char Fun Gen Hmac Int64 Keychain List Option Printf QCheck QCheck_alcotest Sha256 Signature String

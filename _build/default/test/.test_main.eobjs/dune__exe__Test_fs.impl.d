@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Andrew Astring_check Bfs_service Bft_bfs Bft_sm Fs Gen Int64 List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bft_core Bft_crypto Bft_net Bft_sm Client Cluster Config Int64 List Message Printf QCheck QCheck_alcotest Replica String Wire

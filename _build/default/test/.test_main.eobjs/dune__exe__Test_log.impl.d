@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Bft_core Config List Log Message String

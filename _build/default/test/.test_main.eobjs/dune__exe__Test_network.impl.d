@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Bft_net Bft_sim Bft_util Int64 List Printf

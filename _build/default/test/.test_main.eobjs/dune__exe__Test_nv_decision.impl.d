@@ -1,0 +1,1 @@
+test/test_nv_decision.ml: Alcotest Bft_core Config List Message Nv_decision String Wire

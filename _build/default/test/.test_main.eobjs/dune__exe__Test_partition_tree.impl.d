@@ -1,0 +1,1 @@
+test/test_partition_tree.ml: Alcotest Bft_core Bft_util Char List Partition_tree Printf QCheck QCheck_alcotest String

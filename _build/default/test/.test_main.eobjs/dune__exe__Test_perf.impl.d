@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Bft_core Bft_net Bft_perf Bft_sm Bft_util Cluster Config

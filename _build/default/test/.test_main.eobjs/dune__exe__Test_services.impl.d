@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Bft_sm Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bft_sim Bft_util Buffer Engine List Printf

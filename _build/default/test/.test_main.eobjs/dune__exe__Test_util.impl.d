@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bft_net Bft_util Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bft_core Bft_crypto List Message QCheck QCheck_alcotest String Wire

@@ -1,0 +1,8 @@
+(* Tiny substring helper for tests. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0

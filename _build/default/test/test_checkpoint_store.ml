@@ -1,0 +1,138 @@
+(* Checkpoint store: stability certificates, pruning, certified digests. *)
+
+open Bft_core
+
+let mk ?(auth = Config.Mac_auth) () =
+  let cfg = Config.make ~auth_mode:auth ~f:1 () in
+  (cfg, Checkpoint_store.create cfg ~page_size:16 ~branching:4)
+
+let ck ~seq ~digest replica = { Message.ck_seq = seq; ck_digest = digest; ck_replica = replica }
+
+let test_take_and_lookup () =
+  let _, st = mk () in
+  let t0 = Checkpoint_store.take st ~seq:0 ~snapshot:"genesis" in
+  Alcotest.(check bool) "tree at 0" true (Checkpoint_store.tree_at st 0 <> None);
+  Alcotest.(check bool) "latest" true
+    (match Checkpoint_store.latest st with
+    | Some t -> Partition_tree.seq t = 0
+    | None -> false);
+  let t10 = Checkpoint_store.take st ~seq:10 ~snapshot:"state10" in
+  Alcotest.(check bool) "distinct digests" true
+    (not (String.equal (Partition_tree.root_digest t0) (Partition_tree.root_digest t10)));
+  Alcotest.(check (list (pair int string))) "held ascending"
+    [ (0, Partition_tree.root_digest t0); (10, Partition_tree.root_digest t10) ]
+    (Checkpoint_store.held st)
+
+let test_stabilize_quorum_mac_mode () =
+  let _, st = mk () in
+  let t = Checkpoint_store.take st ~seq:10 ~snapshot:"s" in
+  let d = Partition_tree.root_digest t in
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 0);
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 1);
+  Alcotest.(check bool) "2 votes insufficient under MACs" true
+    (Checkpoint_store.try_stabilize st = None);
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 2);
+  (match Checkpoint_store.try_stabilize st with
+  | Some (10, _) -> ()
+  | _ -> Alcotest.fail "expected stabilization at 10");
+  Alcotest.(check int) "stable seq" 10 (Checkpoint_store.stable_seq st)
+
+let test_stabilize_weak_sig_mode () =
+  let _, st = mk ~auth:Config.Sig_auth () in
+  let t = Checkpoint_store.take st ~seq:10 ~snapshot:"s" in
+  let d = Partition_tree.root_digest t in
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 0);
+  Alcotest.(check bool) "1 vote insufficient" true (Checkpoint_store.try_stabilize st = None);
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 1);
+  Alcotest.(check bool) "f+1 suffices under signatures" true
+    (Checkpoint_store.try_stabilize st <> None)
+
+let test_stabilize_requires_matching_tree () =
+  let _, st = mk () in
+  ignore (Checkpoint_store.take st ~seq:10 ~snapshot:"local-divergent");
+  let d = String.make 32 'x' in
+  List.iter (fun i -> Checkpoint_store.add_message st (ck ~seq:10 ~digest:d i)) [ 0; 1; 2 ];
+  Alcotest.(check bool) "digest mismatch: no stabilization" true
+    (Checkpoint_store.try_stabilize st = None)
+
+let test_stabilize_prunes () =
+  let _, st = mk () in
+  ignore (Checkpoint_store.take st ~seq:0 ~snapshot:"a");
+  ignore (Checkpoint_store.take st ~seq:10 ~snapshot:"b");
+  let t20 = Checkpoint_store.take st ~seq:20 ~snapshot:"c" in
+  let d = Partition_tree.root_digest t20 in
+  List.iter (fun i -> Checkpoint_store.add_message st (ck ~seq:20 ~digest:d i)) [ 0; 1; 2 ];
+  ignore (Checkpoint_store.try_stabilize st);
+  Alcotest.(check bool) "older trees pruned" true (Checkpoint_store.tree_at st 0 = None);
+  Alcotest.(check bool) "10 pruned" true (Checkpoint_store.tree_at st 10 = None);
+  Alcotest.(check bool) "stable kept" true (Checkpoint_store.tree_at st 20 <> None)
+
+let test_stabilize_picks_newest () =
+  let _, st = mk () in
+  let t10 = Checkpoint_store.take st ~seq:10 ~snapshot:"b" in
+  let t20 = Checkpoint_store.take st ~seq:20 ~snapshot:"c" in
+  List.iter
+    (fun i ->
+      Checkpoint_store.add_message st (ck ~seq:10 ~digest:(Partition_tree.root_digest t10) i);
+      Checkpoint_store.add_message st (ck ~seq:20 ~digest:(Partition_tree.root_digest t20) i))
+    [ 0; 1; 2 ];
+  (match Checkpoint_store.try_stabilize st with
+  | Some (20, _) -> ()
+  | _ -> Alcotest.fail "expected 20")
+
+let test_certified_digest () =
+  let _, st = mk () in
+  let d = String.make 32 'z' in
+  Checkpoint_store.add_message st (ck ~seq:30 ~digest:d 1);
+  Alcotest.(check bool) "1 vote not certified" true
+    (Checkpoint_store.certified_digest st ~threshold:2 = None);
+  Checkpoint_store.add_message st (ck ~seq:30 ~digest:d 2);
+  (match Checkpoint_store.certified_digest st ~threshold:2 with
+  | Some (30, d') -> Alcotest.(check bool) "digest" true (String.equal d d')
+  | _ -> Alcotest.fail "expected certified 30");
+  (* conflicting votes from different replicas do not combine *)
+  let d2 = String.make 32 'w' in
+  Checkpoint_store.add_message st (ck ~seq:40 ~digest:d2 1);
+  Checkpoint_store.add_message st (ck ~seq:40 ~digest:(String.make 32 'v') 2);
+  (match Checkpoint_store.certified_digest st ~threshold:2 with
+  | Some (30, _) -> ()
+  | _ -> Alcotest.fail "40 must not be certified with split votes")
+
+let test_duplicate_votes_deduplicated () =
+  let _, st = mk () in
+  let d = String.make 32 'd' in
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 1);
+  Checkpoint_store.add_message st (ck ~seq:10 ~digest:d 1);
+  Alcotest.(check int) "same replica counted once" 1
+    (Checkpoint_store.proof_count st ~seq:10 ~digest:d)
+
+let test_drop_above () =
+  let _, st = mk () in
+  ignore (Checkpoint_store.take st ~seq:10 ~snapshot:"a");
+  ignore (Checkpoint_store.take st ~seq:20 ~snapshot:"b");
+  Checkpoint_store.drop_above st 15;
+  Alcotest.(check bool) "20 dropped" true (Checkpoint_store.tree_at st 20 = None);
+  Alcotest.(check bool) "10 kept" true (Checkpoint_store.tree_at st 10 <> None)
+
+let test_install () =
+  let _, st = mk () in
+  let tree = Partition_tree.build ~seq:50 ~page_size:16 ~branching:4 "fetched" in
+  Checkpoint_store.install st tree;
+  Alcotest.(check bool) "installed" true (Checkpoint_store.tree_at st 50 <> None)
+
+let suites =
+  [
+    ( "core.checkpoint_store",
+      [
+        Alcotest.test_case "take and lookup" `Quick test_take_and_lookup;
+        Alcotest.test_case "quorum stability (MAC)" `Quick test_stabilize_quorum_mac_mode;
+        Alcotest.test_case "weak stability (sig)" `Quick test_stabilize_weak_sig_mode;
+        Alcotest.test_case "needs matching tree" `Quick test_stabilize_requires_matching_tree;
+        Alcotest.test_case "stabilize prunes" `Quick test_stabilize_prunes;
+        Alcotest.test_case "picks newest" `Quick test_stabilize_picks_newest;
+        Alcotest.test_case "certified digest" `Quick test_certified_digest;
+        Alcotest.test_case "votes deduplicated" `Quick test_duplicate_votes_deduplicated;
+        Alcotest.test_case "drop above" `Quick test_drop_above;
+        Alcotest.test_case "install" `Quick test_install;
+      ] );
+  ]

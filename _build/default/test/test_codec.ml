@@ -1,0 +1,194 @@
+(* Wire codec round-trip: decode (encode m) = m for every message type,
+   with randomized contents, plus malformed-input rejection. *)
+
+open Bft_core
+open Message
+
+(* QCheck generators for protocol messages *)
+module Gen = struct
+  open QCheck.Gen
+
+  let digest = map (fun c -> String.make 32 c) printable
+  let short_string = string_size ~gen:printable (0 -- 40)
+  let seqno = 0 -- 10_000
+  let view = 0 -- 50
+  let replica = 0 -- 6
+  let client = 100 -- 120
+  let ts = map Int64.of_int (0 -- 1_000_000)
+
+  let request =
+    map
+      (fun (op, (timestamp, client, read_only, replier)) ->
+        { op; timestamp; client; read_only; replier })
+      (pair short_string (quad ts client bool replica))
+
+  let batch_elem =
+    frequency
+      [ (3, map (fun r -> Inline (r, Auth_none)) request); (1, map (fun d -> By_digest d) digest) ]
+
+  let pset_entry =
+    map (fun (pe_seq, pe_digest, pe_view) -> { pe_seq; pe_digest; pe_view })
+      (triple seqno digest view)
+
+  let qset_entry =
+    map (fun (qe_seq, qe_entries) -> { qe_seq; qe_entries })
+      (pair seqno (list_size (1 -- 3) (pair digest view)))
+
+  let message =
+    frequency
+      [
+        (3, map (fun r -> Request r) request);
+        ( 2,
+          map
+            (fun ((v, t, c), (r, tent, res)) ->
+              Reply
+                {
+                  rp_view = v;
+                  rp_timestamp = t;
+                  rp_client = c;
+                  rp_replica = r;
+                  rp_tentative = tent;
+                  rp_result = res;
+                })
+            (pair (triple view ts client)
+               (triple replica bool
+                  (frequency
+                     [
+                       (2, map (fun s -> Full s) short_string);
+                       (1, map (fun d -> Result_digest d) digest);
+                     ]))) );
+        ( 3,
+          map
+            (fun (v, n, batch, nd) ->
+              Pre_prepare { pp_view = v; pp_seq = n; pp_batch = batch; pp_nondet = nd })
+            (quad view seqno (list_size (0 -- 4) batch_elem) short_string) );
+        ( 2,
+          map
+            (fun (v, n, d, i) -> Prepare { pr_view = v; pr_seq = n; pr_digest = d; pr_replica = i })
+            (quad view seqno digest replica) );
+        ( 2,
+          map
+            (fun (v, n, d, i) -> Commit { cm_view = v; cm_seq = n; cm_digest = d; cm_replica = i })
+            (quad view seqno digest replica) );
+        ( 1,
+          map (fun (n, d, i) -> Checkpoint { ck_seq = n; ck_digest = d; ck_replica = i })
+            (triple seqno digest replica) );
+        ( 2,
+          map
+            (fun ((v, h, i), (cset, pset, qset)) ->
+              View_change
+                { vc_view = v; vc_h = h; vc_cset = cset; vc_pset = pset; vc_qset = qset; vc_replica = i })
+            (pair (triple view seqno replica)
+               (triple
+                  (list_size (0 -- 3) (pair seqno digest))
+                  (list_size (0 -- 3) pset_entry)
+                  (list_size (0 -- 3) qset_entry))) );
+        ( 1,
+          map
+            (fun (v, i, o, d) ->
+              View_change_ack { va_view = v; va_replica = i; va_origin = o; va_digest = d })
+            (quad view replica replica digest) );
+        ( 1,
+          map
+            (fun ((v, vcs), (st, d, chosen)) ->
+              New_view
+                { nv_view = v; nv_vcs = vcs; nv_start = st; nv_start_digest = d; nv_chosen = chosen })
+            (pair
+               (pair view (list_size (0 -- 3) (pair replica digest)))
+               (triple seqno digest
+                  (list_size (0 -- 3) (map (fun (n, d) -> { nc_seq = n; nc_digest = d }) (pair seqno digest))))) );
+        ( 1,
+          map
+            (fun ((l, i, lc), (rc, rep, me)) ->
+              Fetch { ft_level = l; ft_index = i; ft_lc = lc; ft_rc = rc; ft_replier = rep; ft_replica = me })
+            (pair (triple (0 -- 4) (0 -- 500) seqno) (triple seqno replica replica)) );
+        ( 1,
+          map
+            (fun ((ck, l, i), (subs, me)) ->
+              Meta_data { md_checkpoint = ck; md_level = l; md_index = i; md_subparts = subs; md_replica = me })
+            (pair (triple seqno (0 -- 4) (0 -- 100))
+               (pair (list_size (0 -- 4) (triple (0 -- 100) seqno digest)) replica)) );
+        ( 1,
+          map (fun (i, lm, page) -> Data { dt_index = i; dt_lm = lm; dt_page = page })
+            (triple (0 -- 100) seqno short_string) );
+        ( 1,
+          map
+            (fun ((i, v, h), (le, p, cm)) ->
+              Status_active
+                { sa_replica = i; sa_view = v; sa_h = h; sa_last_exec = le; sa_prepared = p; sa_committed = cm })
+            (pair (triple replica view seqno)
+               (triple seqno (list_size (0 -- 4) seqno) (list_size (0 -- 4) seqno))) );
+        ( 1,
+          map
+            (fun ((i, v, h), (le, hn, seen)) ->
+              Status_pending
+                { sp_replica = i; sp_view = v; sp_h = h; sp_last_exec = le; sp_has_new_view = hn; sp_vcs_seen = seen })
+            (pair (triple replica view seqno) (triple seqno bool (list_size (0 -- 4) replica))) );
+        ( 1,
+          map
+            (fun (i, keys, t) -> New_key { nk_replica = i; nk_keys = keys; nk_counter = t })
+            (triple replica
+               (list_size (0 -- 3)
+                  (map
+                     (fun (p, (s, e)) -> (p, { Bft_crypto.Keychain.secret = s; epoch = e }))
+                     (pair replica (pair short_string (0 -- 5)))))
+               ts) );
+        (1, map (fun (i, n) -> Query_stable { qs_replica = i; qs_nonce = n }) (pair replica ts));
+        ( 1,
+          map
+            (fun (c, p, i, n) ->
+              Reply_stable { rs_checkpoint = c; rs_prepared = p; rs_replica = i; rs_nonce = n })
+            (quad seqno seqno replica ts) );
+        (1, map (fun (d, i) -> Fetch_batch { fb_digest = d; fb_replica = i }) (pair digest replica));
+        ( 1,
+          map
+            (fun (d, batch, nd) -> Batch_data { bd_digest = d; bd_batch = batch; bd_nondet = nd })
+            (triple digest (list_size (0 -- 3) batch_elem) short_string) );
+        (1, map (fun (d, i) -> Fetch_request { fr_digest = d; fr_replica = i }) (pair digest replica));
+      ]
+end
+
+let arb_message = QCheck.make ~print:Message.tag Gen.message
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip decode(encode m) = m" ~count:1000 arb_message
+    (fun m ->
+      match Wire.decode (Wire.encode m) with
+      | Ok m' -> m = m'
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let prop_size_consistent =
+  QCheck.Test.make ~name:"wire size = length" ~count:300 arb_message (fun m ->
+      Wire.size m = String.length (Wire.encode m))
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"truncated input rejected" ~count:300 arb_message (fun m ->
+      let s = Wire.encode m in
+      String.length s < 2
+      ||
+      let cut = String.sub s 0 (String.length s / 2) in
+      match Wire.decode cut with Error _ -> true | Ok _ -> false)
+
+let prop_trailing_rejected =
+  QCheck.Test.make ~name:"trailing bytes rejected" ~count:300 arb_message (fun m ->
+      match Wire.decode (Wire.encode m ^ "x") with Error _ -> true | Ok _ -> false)
+
+let test_garbage_rejected () =
+  List.iter
+    (fun s ->
+      match Wire.decode s with
+      | Error _ -> ()
+      | Ok m -> Alcotest.failf "garbage decoded as %s" (Message.tag m))
+    [ ""; "\xff"; "\x01"; "\x01abc"; String.make 7 '\x00'; "\x63hello" ]
+
+let suites =
+  [
+    ( "core.codec",
+      [
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+        QCheck_alcotest.to_alcotest prop_size_consistent;
+        QCheck_alcotest.to_alcotest prop_truncation_rejected;
+        QCheck_alcotest.to_alcotest prop_trailing_rejected;
+        Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+      ] );
+  ]

@@ -1,0 +1,313 @@
+(* Tests for bft_crypto: FIPS/RFC vectors plus structural properties. *)
+
+open Bft_crypto
+
+let check_hex msg expected actual = Alcotest.(check string) msg expected (Bft_util.Hex.encode actual)
+
+(* --- SHA-256: FIPS 180-4 / NIST vectors --- *)
+
+let test_sha256_empty () =
+  check_hex "sha256('')"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "")
+
+let test_sha256_abc () =
+  check_hex "sha256('abc')"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc")
+
+let test_sha256_two_blocks () =
+  check_hex "sha256(448-bit msg)"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_fox () =
+  check_hex "sha256(fox)"
+    "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+    (Sha256.digest "The quick brown fox jumps over the lazy dog")
+
+let test_sha256_million_a () =
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.feed ctx chunk
+  done;
+  check_hex "sha256(10^6 * 'a')"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.finalize ctx)
+
+let test_sha256_incremental_matches_oneshot () =
+  let msg = String.init 3000 (fun i -> Char.chr (i mod 251)) in
+  let one_shot = Sha256.digest msg in
+  (* feed in irregular chunk sizes crossing block boundaries *)
+  let sizes = [ 1; 63; 64; 65; 127; 128; 500; 2052 ] in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  List.iter
+    (fun sz ->
+      let len = min sz (String.length msg - !pos) in
+      Sha256.feed_sub ctx msg !pos len;
+      pos := !pos + len)
+    sizes;
+  Sha256.feed_sub ctx msg !pos (String.length msg - !pos);
+  Alcotest.(check string) "incremental = one-shot" one_shot (Sha256.finalize ctx)
+
+let test_sha256_boundary_lengths () =
+  (* padding edge cases: lengths around the 55/56/63/64 block boundaries *)
+  List.iter
+    (fun len ->
+      let msg = String.make len 'x' in
+      let d1 = Sha256.digest msg in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) msg;
+      let d2 = Sha256.finalize ctx in
+      Alcotest.(check string)
+        (Printf.sprintf "len=%d byte-at-a-time" len)
+        (Bft_util.Hex.encode d1) (Bft_util.Hex.encode d2))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128; 129 ]
+
+(* --- HMAC-SHA256: RFC 4231 vectors --- *)
+
+let test_hmac_rfc4231_case1 () =
+  check_hex "hmac case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There")
+
+let test_hmac_rfc4231_case2 () =
+  check_hex "hmac case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_rfc4231_case3 () =
+  check_hex "hmac case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_rfc4231_case6 () =
+  check_hex "hmac case 6 (oversized key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.mac
+       ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_truncated_verify () =
+  let key = "secret-key" and msg = "payload" in
+  let tag = Hmac.mac_truncated ~key 8 msg in
+  Alcotest.(check int) "tag length" 8 (String.length tag);
+  Alcotest.(check bool) "verifies" true (Hmac.verify ~key ~tag msg);
+  Alcotest.(check bool) "wrong msg" false (Hmac.verify ~key ~tag "payload2");
+  Alcotest.(check bool) "wrong key" false (Hmac.verify ~key:"other" ~tag msg)
+
+(* --- Hex --- *)
+
+let test_hex_known () =
+  Alcotest.(check string) "encode" "00ff10" (Bft_util.Hex.encode "\x00\xff\x10");
+  Alcotest.(check string) "decode" "\x00\xff\x10" (Bft_util.Hex.decode "00ff10");
+  Alcotest.(check string) "decode upper" "\xab" (Bft_util.Hex.decode "AB")
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length") (fun () ->
+      ignore (Bft_util.Hex.decode "abc"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Hex.decode: non-hex character")
+    (fun () -> ignore (Bft_util.Hex.decode "zz"))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Bft_util.Hex.decode (Bft_util.Hex.encode s) = s)
+
+(* --- AdHash --- *)
+
+let rand_digest rng () = Adhash.of_digest (Sha256.digest (Bft_util.Rng.bytes rng 20))
+
+let test_adhash_group_laws () =
+  let rng = Bft_util.Rng.create 7L in
+  let d = rand_digest rng in
+  for _ = 1 to 50 do
+    let a = d () and b = d () and c = d () in
+    Alcotest.(check bool) "commutative" true (Adhash.equal (Adhash.add a b) (Adhash.add b a));
+    Alcotest.(check bool) "associative" true
+      (Adhash.equal (Adhash.add a (Adhash.add b c)) (Adhash.add (Adhash.add a b) c));
+    Alcotest.(check bool) "identity" true (Adhash.equal (Adhash.add a Adhash.zero) a);
+    Alcotest.(check bool) "inverse" true (Adhash.equal (Adhash.sub (Adhash.add a b) b) a)
+  done
+
+let test_adhash_incremental_update () =
+  (* replacing one element of a sum gives the same result as recomputing *)
+  let rng = Bft_util.Rng.create 9L in
+  let d = rand_digest rng in
+  let elems = Array.init 10 (fun _ -> d ()) in
+  let total = Array.fold_left Adhash.add Adhash.zero elems in
+  let replacement = d () in
+  let updated = Adhash.add (Adhash.sub total elems.(3)) replacement in
+  elems.(3) <- replacement;
+  let recomputed = Array.fold_left Adhash.add Adhash.zero elems in
+  Alcotest.(check bool) "incremental = recomputed" true (Adhash.equal updated recomputed)
+
+(* --- Keychain + authenticators --- *)
+
+let make_pair () =
+  let rng = Bft_util.Rng.create 42L in
+  let kc0 = Keychain.create ~my_id:0 and kc1 = Keychain.create ~my_id:1 in
+  (* 1 generates the key 0 must use to reach 1, and ships it to 0 *)
+  let k01 = Keychain.fresh_in_key kc1 rng ~peer:0 in
+  assert (Keychain.install_out_key kc0 ~peer:1 k01);
+  let k10 = Keychain.fresh_in_key kc0 rng ~peer:1 in
+  assert (Keychain.install_out_key kc1 ~peer:0 k10);
+  (rng, kc0, kc1)
+
+let test_mac_roundtrip () =
+  let _, kc0, kc1 = make_pair () in
+  let msg = "pre-prepare v0 n1" in
+  match Auth.compute_mac kc0 ~peer:1 msg with
+  | None -> Alcotest.fail "no out key"
+  | Some mac ->
+      Alcotest.(check bool) "verifies at 1" true (Auth.verify_mac kc1 ~peer:0 mac msg);
+      Alcotest.(check bool) "wrong msg" false (Auth.verify_mac kc1 ~peer:0 mac "other")
+
+let test_mac_stale_epoch_rejected () =
+  let rng, kc0, kc1 = make_pair () in
+  let msg = "checkpoint n100" in
+  let mac = Option.get (Auth.compute_mac kc0 ~peer:1 msg) in
+  (* 1 refreshes the key 0 should use: old-epoch MACs must now be rejected *)
+  let _new_key = Keychain.fresh_in_key kc1 rng ~peer:0 in
+  Alcotest.(check bool) "stale epoch rejected" false (Auth.verify_mac kc1 ~peer:0 mac msg)
+
+let test_stale_new_key_rejected () =
+  let rng, _, kc1 = make_pair () in
+  let kc0 = Keychain.create ~my_id:0 in
+  let k_new = Keychain.fresh_in_key kc1 rng ~peer:0 in
+  Alcotest.(check bool) "fresh accepted" true (Keychain.install_out_key kc0 ~peer:1 k_new);
+  Alcotest.(check bool) "replay rejected" false (Keychain.install_out_key kc0 ~peer:1 k_new)
+
+let test_authenticator () =
+  let rng = Bft_util.Rng.create 5L in
+  let n = 4 in
+  let chains = Array.init n (fun i -> Keychain.create ~my_id:i) in
+  (* full pairwise key establishment *)
+  for receiver = 0 to n - 1 do
+    for sender = 0 to n - 1 do
+      if sender <> receiver then begin
+        let k = Keychain.fresh_in_key chains.(receiver) rng ~peer:sender in
+        assert (Keychain.install_out_key chains.(sender) ~peer:receiver k)
+      end
+    done
+  done;
+  let msg = "view-change v3" in
+  let receivers = List.init n Fun.id in
+  let auth = Auth.compute_authenticator chains.(0) ~receivers msg in
+  Alcotest.(check int) "n-1 entries" (n - 1) (List.length auth);
+  Alcotest.(check int) "wire size 8+8(n-1)" (8 + (8 * (n - 1))) (Auth.size auth);
+  for i = 1 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "replica %d verifies" i)
+      true
+      (Auth.verify_authenticator chains.(i) ~peer:0 auth msg)
+  done;
+  (* corrupting replica 2's entry breaks only replica 2's check *)
+  let corrupt = Auth.corrupt_entry auth 2 in
+  Alcotest.(check bool) "2 rejects" false (Auth.verify_authenticator chains.(2) ~peer:0 corrupt msg);
+  Alcotest.(check bool) "1 still accepts" true
+    (Auth.verify_authenticator chains.(1) ~peer:0 corrupt msg)
+
+(* --- Signatures --- *)
+
+let test_signature_roundtrip () =
+  let rng = Bft_util.Rng.create 11L in
+  let reg = Signature.create_registry () in
+  let s0 = Signature.register reg rng 0 in
+  let s1 = Signature.register reg rng 1 in
+  let msg = "new-key i=0 t=5" in
+  let sig0 = Signature.sign s0 msg in
+  Alcotest.(check bool) "valid" true (Signature.verify reg sig0 msg);
+  Alcotest.(check bool) "wrong msg" false (Signature.verify reg sig0 "tampered");
+  let sig1 = Signature.sign s1 msg in
+  Alcotest.(check bool) "other signer valid" true (Signature.verify reg sig1 msg);
+  Alcotest.(check bool) "claimed id mismatch" false
+    (Signature.verify reg { sig1 with signer_id = 0 } msg)
+
+let test_signature_forgery_fails () =
+  let rng = Bft_util.Rng.create 13L in
+  let reg = Signature.create_registry () in
+  let _ = Signature.register reg rng 0 in
+  Alcotest.(check bool) "forgery rejected" false
+    (Signature.verify reg (Signature.forge ~signer_id:0) "request")
+
+let test_signature_unregistered () =
+  let reg = Signature.create_registry () in
+  Alcotest.(check bool) "unknown signer" false
+    (Signature.verify reg (Signature.forge ~signer_id:9) "x")
+
+(* --- Rng sanity --- *)
+
+let test_rng_determinism () =
+  let a = Bft_util.Rng.create 99L and b = Bft_util.Rng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Bft_util.Rng.int64 a) (Bft_util.Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Bft_util.Rng.create 99L in
+  let c = Bft_util.Rng.split a in
+  let x = Bft_util.Rng.int64 c and y = Bft_util.Rng.int64 a in
+  Alcotest.(check bool) "streams differ" true (x <> y)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Bft_util.Rng.create (Int64.of_int seed) in
+      let v = Bft_util.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suites =
+  [
+    ( "crypto.sha256",
+      [
+        Alcotest.test_case "empty" `Quick test_sha256_empty;
+        Alcotest.test_case "abc" `Quick test_sha256_abc;
+        Alcotest.test_case "two blocks" `Quick test_sha256_two_blocks;
+        Alcotest.test_case "fox" `Quick test_sha256_fox;
+        Alcotest.test_case "million a" `Slow test_sha256_million_a;
+        Alcotest.test_case "incremental" `Quick test_sha256_incremental_matches_oneshot;
+        Alcotest.test_case "boundary lengths" `Quick test_sha256_boundary_lengths;
+      ] );
+    ( "crypto.hmac",
+      [
+        Alcotest.test_case "rfc4231 case1" `Quick test_hmac_rfc4231_case1;
+        Alcotest.test_case "rfc4231 case2" `Quick test_hmac_rfc4231_case2;
+        Alcotest.test_case "rfc4231 case3" `Quick test_hmac_rfc4231_case3;
+        Alcotest.test_case "rfc4231 case6" `Quick test_hmac_rfc4231_case6;
+        Alcotest.test_case "truncated verify" `Quick test_hmac_truncated_verify;
+      ] );
+    ( "crypto.hex",
+      [
+        Alcotest.test_case "known" `Quick test_hex_known;
+        Alcotest.test_case "errors" `Quick test_hex_errors;
+        QCheck_alcotest.to_alcotest prop_hex_roundtrip;
+      ] );
+    ( "crypto.adhash",
+      [
+        Alcotest.test_case "group laws" `Quick test_adhash_group_laws;
+        Alcotest.test_case "incremental update" `Quick test_adhash_incremental_update;
+      ] );
+    ( "crypto.auth",
+      [
+        Alcotest.test_case "mac roundtrip" `Quick test_mac_roundtrip;
+        Alcotest.test_case "stale epoch rejected" `Quick test_mac_stale_epoch_rejected;
+        Alcotest.test_case "stale new-key rejected" `Quick test_stale_new_key_rejected;
+        Alcotest.test_case "authenticator" `Quick test_authenticator;
+      ] );
+    ( "crypto.signature",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_signature_roundtrip;
+        Alcotest.test_case "forgery fails" `Quick test_signature_forgery_fails;
+        Alcotest.test_case "unregistered" `Quick test_signature_unregistered;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+      ] );
+  ]

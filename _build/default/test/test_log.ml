@@ -1,0 +1,137 @@
+(* Message log: water marks, certificates, garbage collection. *)
+
+open Bft_core
+open Message
+
+let cfg = Config.make ~f:1 ~checkpoint_interval:10 ()
+let d1 = String.make 32 'a'
+let d2 = String.make 32 'b'
+
+let pp ?(view = 0) seq = { pp_view = view; pp_seq = seq; pp_batch = []; pp_nondet = "n" }
+let prep ?(view = 0) ~seq ~d i = { pr_view = view; pr_seq = seq; pr_digest = d; pr_replica = i }
+let com ?(view = 0) ~seq ~d i = { cm_view = view; cm_seq = seq; cm_digest = d; cm_replica = i }
+
+let test_window () =
+  let log = Log.create cfg in
+  Alcotest.(check bool) "0 outside" false (Log.in_window log 0);
+  Alcotest.(check bool) "1 inside" true (Log.in_window log 1);
+  Alcotest.(check bool) "L inside" true (Log.in_window log cfg.Config.log_size);
+  Alcotest.(check bool) "L+1 outside" false (Log.in_window log (cfg.Config.log_size + 1));
+  Alcotest.check_raises "find outside"
+    (Invalid_argument "Log.find: seq 0 outside window (h=0)") (fun () ->
+      ignore (Log.find log 0))
+
+let test_accept_pre_prepare_conflict () =
+  let log = Log.create cfg in
+  Alcotest.(check bool) "first accept" true (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  Alcotest.(check bool) "same digest idempotent" true
+    (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  Alcotest.(check bool) "conflicting digest rejected" false
+    (Log.accept_pre_prepare log ~view:0 (pp 1) d2);
+  (* a later view may rebind the sequence number *)
+  Alcotest.(check bool) "new view may rebind" true
+    (Log.accept_pre_prepare log ~view:1 (pp ~view:1 1) d2)
+
+let test_prepared_certificate () =
+  let log = Log.create cfg in
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  Alcotest.(check bool) "not prepared yet" false (Log.prepared log ~view:0 ~seq:1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 1);
+  Alcotest.(check bool) "one prepare insufficient" false (Log.prepared log ~view:0 ~seq:1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 2);
+  Alcotest.(check bool) "2f matching prepares" true (Log.prepared log ~view:0 ~seq:1)
+
+let test_prepared_requires_matching_digest_and_view () =
+  let log = Log.create cfg in
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  Log.add_prepare log (prep ~seq:1 ~d:d2 1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 2);
+  Alcotest.(check bool) "digest mismatch does not count" false (Log.prepared log ~view:0 ~seq:1);
+  Log.add_prepare log (prep ~view:1 ~seq:1 ~d:d1 3);
+  Alcotest.(check bool) "view mismatch does not count" false (Log.prepared log ~view:0 ~seq:1)
+
+let test_primary_prepare_does_not_count () =
+  let log = Log.create cfg in
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  (* replica 0 is the primary of view 0; its prepares must be ignored *)
+  Log.add_prepare log (prep ~seq:1 ~d:d1 0);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 1);
+  Alcotest.(check bool) "primary prepare ignored" false (Log.prepared log ~view:0 ~seq:1)
+
+let test_committed_certificate () =
+  let log = Log.create cfg in
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 2);
+  Log.add_commit log (com ~seq:1 ~d:d1 0);
+  Log.add_commit log (com ~seq:1 ~d:d1 1);
+  Alcotest.(check bool) "2 commits insufficient" false (Log.committed log ~view:0 ~seq:1);
+  Log.add_commit log (com ~seq:1 ~d:d1 2);
+  Alcotest.(check bool) "2f+1 commits" true (Log.committed log ~view:0 ~seq:1);
+  Alcotest.(check int) "commit count" 3 (Log.commit_count log ~seq:1 d1)
+
+let test_commit_digest_mismatch () =
+  let log = Log.create cfg in
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 1) d1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 1);
+  Log.add_prepare log (prep ~seq:1 ~d:d1 2);
+  Log.add_commit log (com ~seq:1 ~d:d2 0);
+  Log.add_commit log (com ~seq:1 ~d:d2 1);
+  Log.add_commit log (com ~seq:1 ~d:d2 2);
+  Alcotest.(check bool) "mismatching commits do not commit" false
+    (Log.committed log ~view:0 ~seq:1)
+
+let test_early_prepare_creates_entry () =
+  let log = Log.create cfg in
+  Log.add_prepare log (prep ~seq:3 ~d:d1 1);
+  Alcotest.(check bool) "entry exists" true (Log.entry log 3 <> None);
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 3) d1);
+  Log.add_prepare log (prep ~seq:3 ~d:d1 2);
+  Alcotest.(check bool) "prepared with early prepare" true (Log.prepared log ~view:0 ~seq:3)
+
+let test_truncate () =
+  let log = Log.create cfg in
+  for n = 1 to 15 do
+    ignore (Log.accept_pre_prepare log ~view:0 (pp n) d1)
+  done;
+  Log.truncate log 10;
+  Alcotest.(check int) "low mark" 10 (Log.low_mark log);
+  Alcotest.(check bool) "10 dropped" true (Log.entry log 10 = None);
+  Alcotest.(check bool) "11 kept" true (Log.entry log 11 <> None);
+  Alcotest.(check bool) "window shifted" true (Log.in_window log (10 + cfg.Config.log_size));
+  (* truncation never moves backwards *)
+  Log.truncate log 5;
+  Alcotest.(check int) "no backward truncate" 10 (Log.low_mark log)
+
+let test_iter_window_ordered () =
+  let log = Log.create cfg in
+  List.iter (fun n -> ignore (Log.accept_pre_prepare log ~view:0 (pp n) d1)) [ 5; 2; 9 ];
+  let seen = ref [] in
+  Log.iter_window log (fun e -> seen := e.Log.seq :: !seen);
+  Alcotest.(check (list int)) "ascending" [ 2; 5; 9 ] (List.rev !seen)
+
+let test_clear_entries () =
+  let log = Log.create cfg in
+  Log.truncate log 7;
+  ignore (Log.accept_pre_prepare log ~view:0 (pp 8) d1);
+  Log.clear_entries log;
+  Alcotest.(check bool) "entries gone" true (Log.entry log 8 = None);
+  Alcotest.(check int) "low mark kept" 7 (Log.low_mark log)
+
+let suites =
+  [
+    ( "core.log",
+      [
+        Alcotest.test_case "window" `Quick test_window;
+        Alcotest.test_case "pre-prepare conflict" `Quick test_accept_pre_prepare_conflict;
+        Alcotest.test_case "prepared certificate" `Quick test_prepared_certificate;
+        Alcotest.test_case "prepared digest/view match" `Quick test_prepared_requires_matching_digest_and_view;
+        Alcotest.test_case "primary prepare ignored" `Quick test_primary_prepare_does_not_count;
+        Alcotest.test_case "committed certificate" `Quick test_committed_certificate;
+        Alcotest.test_case "commit digest mismatch" `Quick test_commit_digest_mismatch;
+        Alcotest.test_case "early prepare" `Quick test_early_prepare_creates_entry;
+        Alcotest.test_case "truncate" `Quick test_truncate;
+        Alcotest.test_case "iter ordered" `Quick test_iter_window_ordered;
+        Alcotest.test_case "clear entries" `Quick test_clear_entries;
+      ] );
+  ]

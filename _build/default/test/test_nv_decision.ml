@@ -1,0 +1,145 @@
+(* Unit tests for the new-view decision procedure (paper Fig 3-3), the
+   heart of view-change safety: committed requests must keep their sequence
+   numbers; unprepared gaps become null requests; insufficient information
+   defers the decision. *)
+
+open Bft_core
+open Message
+
+let cfg = Config.make ~f:1 () (* quorum 3, weak 2 *)
+let d_a = String.make 32 'a'
+let d_b = String.make 32 'b'
+let ck0 = String.make 32 '0'
+
+let vc ?(view = 1) ?(h = 0) ?(cset = [ (0, ck0) ]) ?(pset = []) ?(qset = []) replica =
+  (replica, { vc_view = view; vc_h = h; vc_cset = cset; vc_pset = pset; vc_qset = qset; vc_replica = replica })
+
+let pe ~seq ~d ~view = { pe_seq = seq; pe_digest = d; pe_view = view }
+let qe ~seq entries = { qe_seq = seq; qe_entries = entries }
+let has_all _ = true
+
+let check_decision name result ~start ~chosen =
+  match result with
+  | Nv_decision.Wait -> Alcotest.failf "%s: unexpected Wait" name
+  | Nv_decision.Decision { start = s; start_digest = _; chosen = ch } ->
+      Alcotest.(check int) (name ^ " start") start s;
+      Alcotest.(check (list (pair int string)))
+        (name ^ " chosen") chosen
+        (List.map (fun c -> (c.nc_seq, c.nc_digest)) ch)
+
+let test_empty_is_wait () =
+  Alcotest.(check bool) "no messages" true
+    (Nv_decision.decide cfg [] ~has_batch:has_all = Nv_decision.Wait)
+
+let test_quorum_no_activity_decides_empty () =
+  let s = [ vc 0; vc 1; vc 2 ] in
+  check_decision "idle" (Nv_decision.decide cfg s ~has_batch:has_all) ~start:0 ~chosen:[]
+
+let test_prepared_request_is_chosen () =
+  (* one replica prepared (n=1, d_a, v=0); the others pre-prepared it *)
+  let q = [ qe ~seq:1 [ (d_a, 0) ] ] in
+  let s =
+    [
+      vc ~pset:[ pe ~seq:1 ~d:d_a ~view:0 ] ~qset:q 0;
+      vc ~qset:q 1;
+      vc 2;
+    ]
+  in
+  check_decision "prepared chosen" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:0 ~chosen:[ (1, d_a) ]
+
+let test_a2_blocks_unsupported_claim () =
+  (* a single (possibly faulty) replica claims n=1 prepared, but no other
+     replica pre-prepared that digest: condition A2 fails; with 2f+1
+     showing nothing prepared, B chooses null *)
+  let s = [ vc ~pset:[ pe ~seq:1 ~d:d_a ~view:0 ] 0; vc 1; vc 2; vc 3 ] in
+  check_decision "unsupported claim nulled" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:0 ~chosen:[ (1, Wire.null_batch_digest) ]
+
+let test_b_needs_quorum () =
+  (* only 3 messages and one claims prepared: B cannot gather 2f+1 `nothing
+     prepared' messages, A2 lacks support: must wait *)
+  let s = [ vc ~pset:[ pe ~seq:1 ~d:d_a ~view:0 ] 0; vc 1; vc 2 ] in
+  Alcotest.(check bool) "wait" true
+    (Nv_decision.decide cfg s ~has_batch:has_all = Nv_decision.Wait)
+
+let test_higher_view_wins () =
+  (* conflicting prepared certificates for n=1: view 2 beats view 1
+     (re-proposals across views, Theorem 3.2.1) *)
+  let qa = [ qe ~seq:1 [ (d_a, 1) ] ] and qb = [ qe ~seq:1 [ (d_b, 2) ] ] in
+  let s =
+    [
+      vc ~pset:[ pe ~seq:1 ~d:d_a ~view:1 ] ~qset:qa 0;
+      vc ~pset:[ pe ~seq:1 ~d:d_b ~view:2 ] ~qset:qb 1;
+      vc ~qset:qb 2;
+      vc 3;
+    ]
+  in
+  check_decision "later view wins" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:0 ~chosen:[ (1, d_b) ]
+
+let test_committed_request_survives () =
+  (* a committed request (prepared at a quorum): every quorum of
+     view-changes contains it, so it must be re-chosen *)
+  let p = [ pe ~seq:1 ~d:d_a ~view:0 ] and q = [ qe ~seq:1 [ (d_a, 0) ] ] in
+  let s = [ vc ~pset:p ~qset:q 0; vc ~pset:p ~qset:q 1; vc ~pset:p ~qset:q 2 ] in
+  check_decision "committed survives" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:0 ~chosen:[ (1, d_a) ]
+
+let test_gap_filled_with_null () =
+  (* n=2 prepared but nothing at n=1: the gap becomes a null request *)
+  let p = [ pe ~seq:2 ~d:d_a ~view:0 ] and q = [ qe ~seq:2 [ (d_a, 0) ] ] in
+  let s = [ vc ~pset:p ~qset:q 0; vc ~pset:p ~qset:q 1; vc ~qset:q 2 ] in
+  check_decision "gap nulled" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:0
+    ~chosen:[ (1, Wire.null_batch_digest); (2, d_a) ]
+
+let test_checkpoint_selection_highest_certified () =
+  let ck10 = String.make 32 'x' in
+  let cset = [ (0, ck0); (10, ck10) ] in
+  (* 10 is vouched by f+1 = 2 and 2f+1 have h <= 10 *)
+  let s = [ vc ~cset 0; vc ~cset ~h:10 1; vc 2 ] in
+  check_decision "highest checkpoint" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:10 ~chosen:[]
+
+let test_checkpoint_needs_weak_cert () =
+  let ck10 = String.make 32 'x' in
+  (* only one replica vouches for checkpoint 10: start stays at 0 *)
+  let s = [ vc ~cset:[ (0, ck0); (10, ck10) ] 0; vc 1; vc 2 ] in
+  check_decision "uncertified checkpoint skipped" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:0 ~chosen:[]
+
+let test_a3_missing_batch_waits () =
+  let p = [ pe ~seq:1 ~d:d_a ~view:0 ] and q = [ qe ~seq:1 [ (d_a, 0) ] ] in
+  let s = [ vc ~pset:p ~qset:q 0; vc ~pset:p ~qset:q 1; vc ~pset:p ~qset:q 2 ] in
+  Alcotest.(check bool) "missing body waits" true
+    (Nv_decision.decide cfg s ~has_batch:(fun _ -> false) = Nv_decision.Wait)
+
+let test_entries_below_h_ignored () =
+  (* a prepared entry at n=5 with all h >= 5 is below the window: the
+     checkpoint covers it and chosen stays empty *)
+  let p = [ pe ~seq:5 ~d:d_a ~view:0 ] in
+  let ck5 = String.make 32 'y' in
+  let cset = [ (5, ck5) ] in
+  let s = [ vc ~cset ~h:5 ~pset:p 0; vc ~cset ~h:5 1; vc ~cset ~h:5 2 ] in
+  check_decision "below h ignored" (Nv_decision.decide cfg s ~has_batch:has_all)
+    ~start:5 ~chosen:[]
+
+let suites =
+  [
+    ( "core.nv_decision",
+      [
+        Alcotest.test_case "empty waits" `Quick test_empty_is_wait;
+        Alcotest.test_case "idle quorum decides" `Quick test_quorum_no_activity_decides_empty;
+        Alcotest.test_case "prepared chosen" `Quick test_prepared_request_is_chosen;
+        Alcotest.test_case "A2 blocks unsupported" `Quick test_a2_blocks_unsupported_claim;
+        Alcotest.test_case "B needs quorum" `Quick test_b_needs_quorum;
+        Alcotest.test_case "higher view wins" `Quick test_higher_view_wins;
+        Alcotest.test_case "committed survives" `Quick test_committed_request_survives;
+        Alcotest.test_case "gap nulled" `Quick test_gap_filled_with_null;
+        Alcotest.test_case "checkpoint selection" `Quick test_checkpoint_selection_highest_certified;
+        Alcotest.test_case "checkpoint weak cert" `Quick test_checkpoint_needs_weak_cert;
+        Alcotest.test_case "A3 missing batch" `Quick test_a3_missing_batch_waits;
+        Alcotest.test_case "below h ignored" `Quick test_entries_below_h_ignored;
+      ] );
+  ]

@@ -1,0 +1,155 @@
+(* Hierarchical partition tree: digests, copy-on-write, geometry. *)
+
+open Bft_core
+
+let build ?prev ?(seq = 1) ?(page_size = 16) ?(branching = 4) s =
+  Partition_tree.build ?prev ~seq ~page_size ~branching s
+
+let test_empty_state () =
+  let t = build "" in
+  Alcotest.(check int) "one page" 1 (Partition_tree.num_pages t);
+  Alcotest.(check int) "two levels" 2 (Partition_tree.depth t);
+  Alcotest.(check string) "page empty" "" (Partition_tree.page t 0).Partition_tree.data;
+  Alcotest.(check string) "snapshot" "" (Partition_tree.snapshot t)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun len ->
+      let s = String.init len (fun i -> Char.chr (i mod 256)) in
+      let t = build s in
+      Alcotest.(check string) (Printf.sprintf "len=%d" len) s (Partition_tree.snapshot t))
+    [ 0; 1; 15; 16; 17; 64; 65; 255; 1024 ]
+
+let test_page_count () =
+  Alcotest.(check int) "17 bytes -> 2 pages" 2 (Partition_tree.num_pages (build (String.make 17 'a')));
+  Alcotest.(check int) "16 bytes -> 1 page" 1 (Partition_tree.num_pages (build (String.make 16 'a')));
+  (* 5 pages with branching 4 -> pages, one meta level of 2, root: depth 3 *)
+  let t = build (String.make 80 'a') in
+  Alcotest.(check int) "80 bytes -> 5 pages" 5 (Partition_tree.num_pages t);
+  Alcotest.(check int) "depth 3" 3 (Partition_tree.depth t)
+
+let test_root_digest_changes_with_content () =
+  let t1 = build (String.make 64 'a') in
+  let t2 = build (String.make 64 'b') in
+  Alcotest.(check bool) "different content different root" true
+    (not (String.equal (Partition_tree.root_digest t1) (Partition_tree.root_digest t2)));
+  let t3 = build (String.make 64 'a') in
+  Alcotest.(check string) "deterministic"
+    (Bft_util.Hex.encode (Partition_tree.root_digest t1))
+    (Bft_util.Hex.encode (Partition_tree.root_digest t3))
+
+let test_copy_on_write_reuse () =
+  let s1 = String.make 64 'a' in
+  let t1 = build ~seq:1 s1 in
+  (* change only the second page *)
+  let s2 = String.sub s1 0 16 ^ String.make 16 'X' ^ String.sub s1 32 32 in
+  let t2 = build ~prev:t1 ~seq:2 s2 in
+  Alcotest.(check int) "only 16 bytes re-digested" 16 (Partition_tree.digested_bytes t2);
+  (* unchanged pages keep their lm from the earlier checkpoint *)
+  Alcotest.(check int) "page 0 lm" 1 (Partition_tree.page t2 0).Partition_tree.lm;
+  Alcotest.(check int) "page 1 lm" 2 (Partition_tree.page t2 1).Partition_tree.lm;
+  (* physical sharing *)
+  Alcotest.(check bool) "page 0 shared" true
+    (Partition_tree.page t2 0 == Partition_tree.page t1 0)
+
+let test_incremental_equals_scratch () =
+  (* a tree built incrementally must hash identically to one built from
+     scratch at the same sequence number *)
+  let s1 = String.make 64 'a' in
+  let s2 = String.sub s1 0 48 ^ String.make 16 'z' in
+  let t1 = build ~seq:1 s1 in
+  let incr = build ~prev:t1 ~seq:2 s2 in
+  (* from scratch, the unchanged pages must carry lm = 1, which a fresh
+     build cannot know; so compare against a fresh chain instead *)
+  let fresh1 = build ~seq:1 s1 in
+  let fresh2 = build ~prev:fresh1 ~seq:2 s2 in
+  Alcotest.(check string) "same root"
+    (Bft_util.Hex.encode (Partition_tree.root_digest incr))
+    (Bft_util.Hex.encode (Partition_tree.root_digest fresh2))
+
+let test_children_consistent_with_node_info () =
+  let t = build (String.make 300 'q') in
+  (* walk every interior level and recheck children lists *)
+  for level = 0 to Partition_tree.depth t - 2 do
+    let width = if level = 0 then 1 else List.length (Partition_tree.children t ~level:(level - 1) ~index:0) in
+    ignore width;
+    let children = Partition_tree.children t ~level ~index:0 in
+    Alcotest.(check bool) (Printf.sprintf "level %d nonempty" level) true (children <> []);
+    List.iter
+      (fun (idx, lm, d) ->
+        let lm', d' = Partition_tree.node_info t ~level:(level + 1) ~index:idx in
+        Alcotest.(check int) "lm matches" lm lm';
+        Alcotest.(check bool) "digest matches" true (String.equal d d'))
+      children
+  done
+
+let test_rebuild_page_matches () =
+  let t = build ~seq:5 (String.make 40 'k') in
+  let p = Partition_tree.page t 1 in
+  let r = Partition_tree.rebuild_page ~index:1 ~lm:p.Partition_tree.lm ~data:p.Partition_tree.data in
+  Alcotest.(check bool) "digest reproducible" true
+    (String.equal p.Partition_tree.digest r.Partition_tree.digest);
+  (* lm participates in the digest: state transfer detects stale pages *)
+  let r' = Partition_tree.rebuild_page ~index:1 ~lm:(p.Partition_tree.lm + 1) ~data:p.Partition_tree.data in
+  Alcotest.(check bool) "lm in digest" true
+    (not (String.equal p.Partition_tree.digest r'.Partition_tree.digest))
+
+let test_page_index_in_digest () =
+  let a = Partition_tree.rebuild_page ~index:0 ~lm:1 ~data:"same" in
+  let b = Partition_tree.rebuild_page ~index:1 ~lm:1 ~data:"same" in
+  Alcotest.(check bool) "index in digest" true
+    (not (String.equal a.Partition_tree.digest b.Partition_tree.digest))
+
+let test_growth_and_shrink () =
+  let t1 = build ~seq:1 (String.make 32 'a') in
+  let t2 = build ~prev:t1 ~seq:2 (String.make 64 'a') in
+  Alcotest.(check int) "grown to 4 pages" 4 (Partition_tree.num_pages t2);
+  Alcotest.(check string) "snapshot grown" (String.make 64 'a') (Partition_tree.snapshot t2);
+  let t3 = build ~prev:t2 ~seq:3 (String.make 8 'a') in
+  Alcotest.(check int) "shrunk to 1 page" 1 (Partition_tree.num_pages t3);
+  Alcotest.(check string) "snapshot shrunk" (String.make 8 'a') (Partition_tree.snapshot t3)
+
+let test_invalid_args () =
+  Alcotest.check_raises "page_size" (Invalid_argument "Partition_tree.build: page_size")
+    (fun () -> ignore (Partition_tree.build ~seq:0 ~page_size:0 ~branching:4 ""));
+  Alcotest.check_raises "branching" (Invalid_argument "Partition_tree.build: branching")
+    (fun () -> ignore (Partition_tree.build ~seq:0 ~page_size:4 ~branching:1 ""));
+  let t = build "abc" in
+  Alcotest.check_raises "page range" (Invalid_argument "Partition_tree.page") (fun () ->
+      ignore (Partition_tree.page t 5))
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot roundtrip (random)" ~count:100
+    QCheck.(pair (string_of_size QCheck.Gen.(0 -- 500)) (int_range 1 64))
+    (fun (s, page_size) ->
+      let t = Partition_tree.build ~seq:1 ~page_size ~branching:3 s in
+      String.equal (Partition_tree.snapshot t) s)
+
+let prop_cow_digest_stable =
+  QCheck.Test.make ~name:"unchanged state keeps root digest" ~count:50
+    (QCheck.string_of_size QCheck.Gen.(0 -- 300))
+    (fun s ->
+      let t1 = Partition_tree.build ~seq:1 ~page_size:16 ~branching:4 s in
+      let t2 = Partition_tree.build ~prev:t1 ~seq:2 ~page_size:16 ~branching:4 s in
+      String.equal (Partition_tree.root_digest t1) (Partition_tree.root_digest t2)
+      && Partition_tree.digested_bytes t2 = 0)
+
+let suites =
+  [
+    ( "core.partition_tree",
+      [
+        Alcotest.test_case "empty state" `Quick test_empty_state;
+        Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+        Alcotest.test_case "page count" `Quick test_page_count;
+        Alcotest.test_case "root digest content" `Quick test_root_digest_changes_with_content;
+        Alcotest.test_case "copy-on-write reuse" `Quick test_copy_on_write_reuse;
+        Alcotest.test_case "incremental = scratch" `Quick test_incremental_equals_scratch;
+        Alcotest.test_case "children consistent" `Quick test_children_consistent_with_node_info;
+        Alcotest.test_case "rebuild page" `Quick test_rebuild_page_matches;
+        Alcotest.test_case "index in digest" `Quick test_page_index_in_digest;
+        Alcotest.test_case "growth and shrink" `Quick test_growth_and_shrink;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+        QCheck_alcotest.to_alcotest prop_cow_digest_stable;
+      ] );
+  ]

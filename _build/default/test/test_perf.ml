@@ -1,0 +1,113 @@
+(* Analytic performance model (Chapter 7): structural properties and
+   agreement with the simulator. *)
+
+module PM = Bft_perf.Perf_model
+module Costs = Bft_net.Costs
+open Bft_core
+
+let costs = Costs.default
+let cfg = Config.make ~f:1 ()
+let w ?(arg = 0) ?(res = 0) ?(ro = false) ?(batch = 1) () =
+  { PM.arg_size = arg; result_size = res; read_only = ro; batch }
+
+let test_read_only_cheaper () =
+  let rw = PM.latency_us ~costs ~cfg (w ()) in
+  let ro = PM.latency_us ~costs ~cfg (w ~ro:true ()) in
+  Alcotest.(check bool) "ro < rw" true (ro < rw);
+  Alcotest.(check bool) "roughly half (one round trip vs four hops)" true
+    (ro < 0.7 *. rw)
+
+let test_latency_monotone_in_sizes () =
+  let base = PM.latency_us ~costs ~cfg (w ()) in
+  Alcotest.(check bool) "arg grows latency" true
+    (PM.latency_us ~costs ~cfg (w ~arg:4096 ()) > base);
+  Alcotest.(check bool) "result grows latency" true
+    (PM.latency_us ~costs ~cfg (w ~res:4096 ()) > base)
+
+let test_sig_mode_much_slower () =
+  let pk_cfg = Config.make ~auth_mode:Config.Sig_auth ~f:1 () in
+  let mac = PM.latency_us ~costs ~cfg (w ()) in
+  let pk = PM.latency_us ~costs ~cfg:pk_cfg (w ()) in
+  Alcotest.(check bool) "BFT-PK an order of magnitude slower" true (pk > 10.0 *. mac)
+
+let test_batching_improves_throughput () =
+  let t1 = PM.throughput_ops ~costs ~cfg (w ~batch:1 ()) in
+  let t16 = PM.throughput_ops ~costs ~cfg (w ~batch:16 ()) in
+  Alcotest.(check bool) "batch 16 > batch 1" true (t16 > 1.5 *. t1)
+
+let test_tentative_execution_saves_a_round () =
+  let no_tent = Config.make ~f:1 ~tentative_execution:false () in
+  Alcotest.(check bool) "commit round costs latency" true
+    (PM.latency_us ~costs ~cfg:no_tent (w ()) > PM.latency_us ~costs ~cfg (w ()));
+  ignore no_tent
+
+let test_latency_grows_with_f () =
+  let l1 = PM.latency_us ~costs ~cfg (w ()) in
+  let l3 = PM.latency_us ~costs ~cfg:(Config.make ~f:3 ()) (w ()) in
+  Alcotest.(check bool) "more replicas cost more" true (l3 > l1);
+  Alcotest.(check bool) "but only mildly (constant phases)" true (l3 < 3.0 *. l1)
+
+let test_sizes_sane () =
+  Alcotest.(check bool) "request size includes auth" true
+    (PM.request_size ~cfg ~arg_size:0 > 8 + (8 * cfg.Config.n));
+  Alcotest.(check int) "arg adds bytes 1:1"
+    (PM.request_size ~cfg ~arg_size:100 - PM.request_size ~cfg ~arg_size:0)
+    100;
+  Alcotest.(check bool) "digest reply smaller than full 4K reply" true
+    (PM.reply_size ~cfg ~result_size:4096 ~full:false
+    < PM.reply_size ~cfg ~result_size:4096 ~full:true);
+  Alcotest.(check bool) "separate-tx pre-prepare stays small" true
+    (PM.pre_prepare_size ~cfg ~arg_size:4096 ~batch:1
+    < PM.pre_prepare_size ~cfg ~arg_size:255 ~batch:1 + 4096)
+
+(* Model vs simulator (Section 8.3 style validation): predictions within
+   30% of simulated measurements for the 0/0 operations. *)
+let simulate_latency ~ro =
+  let cluster = Cluster.create ~seed:11L ~num_clients:1 cfg in
+  (* warm up *)
+  ignore (Cluster.invoke_sync cluster ~client:0 (Bft_sm.Null_service.op ~read_only:false ~arg_size:0 ~result_size:0));
+  let samples = Bft_util.Stats.create () in
+  for _ = 1 to 10 do
+    let _, l =
+      Cluster.invoke_sync_latency cluster ~client:0 ~read_only:ro
+        (Bft_sm.Null_service.op ~read_only:ro ~arg_size:0 ~result_size:0)
+    in
+    Bft_util.Stats.add samples l
+  done;
+  Bft_util.Stats.median samples
+
+let test_model_matches_simulator_rw () =
+  let predicted = PM.latency_us ~costs ~cfg (w ()) in
+  let measured = simulate_latency ~ro:false in
+  let err = abs_float (predicted -. measured) /. measured in
+  if err > 0.3 then
+    Alcotest.failf "model %f vs measured %f (err %.0f%%)" predicted measured (100. *. err)
+
+let test_model_matches_simulator_ro () =
+  let predicted = PM.latency_us ~costs ~cfg (w ~ro:true ()) in
+  let measured = simulate_latency ~ro:true in
+  let err = abs_float (predicted -. measured) /. measured in
+  if err > 0.3 then
+    Alcotest.failf "model %f vs measured %f (err %.0f%%)" predicted measured (100. *. err)
+
+let test_bottleneck_shifts_to_network () =
+  (* large results saturate the wire first *)
+  let p = PM.predict ~costs ~cfg (w ~res:8192 ~batch:16 ()) in
+  Alcotest.(check string) "network bound" "network" p.PM.bottleneck
+
+let suites =
+  [
+    ( "perf.model",
+      [
+        Alcotest.test_case "read-only cheaper" `Quick test_read_only_cheaper;
+        Alcotest.test_case "monotone in sizes" `Quick test_latency_monotone_in_sizes;
+        Alcotest.test_case "signatures much slower" `Quick test_sig_mode_much_slower;
+        Alcotest.test_case "batching helps" `Quick test_batching_improves_throughput;
+        Alcotest.test_case "tentative saves a round" `Quick test_tentative_execution_saves_a_round;
+        Alcotest.test_case "latency vs f" `Quick test_latency_grows_with_f;
+        Alcotest.test_case "message sizes" `Quick test_sizes_sane;
+        Alcotest.test_case "model vs sim (rw)" `Slow test_model_matches_simulator_rw;
+        Alcotest.test_case "model vs sim (ro)" `Slow test_model_matches_simulator_ro;
+        Alcotest.test_case "network bottleneck" `Quick test_bottleneck_shifts_to_network;
+      ] );
+  ]

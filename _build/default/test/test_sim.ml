@@ -1,0 +1,135 @@
+(* Tests for the discrete-event engine. *)
+
+open Bft_sim
+
+let test_empty_run () =
+  let e = Engine.create () in
+  Engine.run e;
+  Alcotest.(check int64) "time stays 0" 0L (Engine.now e)
+
+let test_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  ignore (Engine.schedule e ~delay:(Engine.us 30) (record "c"));
+  ignore (Engine.schedule e ~delay:(Engine.us 10) (record "a"));
+  ignore (Engine.schedule e ~delay:(Engine.us 20) (record "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check int64) "final clock" (Engine.us 30) (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:(Engine.us 10) (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:(Engine.us 10) (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Engine.is_pending h);
+  Engine.cancel h;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending h);
+  Engine.run e;
+  Alcotest.(check bool) "cancelled does not fire" false !fired;
+  Engine.cancel h (* idempotent *)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(Engine.us 5) (fun () ->
+         times := Engine.now e :: !times;
+         ignore
+           (Engine.schedule e ~delay:(Engine.us 7) (fun () ->
+                times := Engine.now e :: !times))));
+  Engine.run e;
+  Alcotest.(check (list int64)) "nested times" [ Engine.us 5; Engine.us 12 ] (List.rev !times)
+
+let test_run_until_deadline () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:(Engine.ms 1) tick)
+  in
+  ignore (Engine.schedule e ~delay:0L tick);
+  Engine.run ~until:(Engine.ms 10) e;
+  (* ticks at 0,1,...,10 ms = 11 events *)
+  Alcotest.(check int) "ticks" 11 !count;
+  Alcotest.(check bool) "queue still has next tick" true (Engine.pending_events e > 0)
+
+let test_run_while () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:(Engine.ms 1) tick)
+  in
+  ignore (Engine.schedule e ~delay:0L tick);
+  let exhausted = Engine.run_while e (fun () -> !count < 5) in
+  Alcotest.(check bool) "condition reached" false exhausted;
+  Alcotest.(check int) "stopped at 5" 5 !count
+
+let test_schedule_at_past_clamped () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:(Engine.us 10) (fun () -> ()));
+  Engine.run e;
+  let fired_at = ref (-1L) in
+  ignore (Engine.schedule_at e 0L (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int64) "clamped to now" (Engine.us 10) !fired_at
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule e ~delay:(-1L) (fun () -> ())))
+
+let test_determinism_same_seed () =
+  (* identical program + seed produces identical event interleavings and
+     rng draws *)
+  let run seed =
+    let e = Engine.create ~seed () in
+    let rng = Engine.rng e in
+    let log = Buffer.create 64 in
+    for i = 1 to 20 do
+      let delay = Engine.us (Bft_util.Rng.int rng 100) in
+      ignore
+        (Engine.schedule e ~delay (fun () ->
+             Buffer.add_string log (Printf.sprintf "%d@%Ld;" i (Engine.now e))))
+    done;
+    Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed same trace" (run 123L) (run 123L);
+  Alcotest.(check bool) "different seed different trace" true (run 123L <> run 124L)
+
+let test_time_helpers () =
+  Alcotest.(check int64) "us" 1_000L (Engine.us 1);
+  Alcotest.(check int64) "ms" 1_000_000L (Engine.ms 1);
+  Alcotest.(check int64) "sec" 1_000_000_000L (Engine.sec 1);
+  Alcotest.(check (float 1e-9)) "to_us" 1.5 (Engine.to_us 1_500L);
+  Alcotest.(check int64) "of_us_float" 2_500L (Engine.of_us_float 2.5)
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "empty run" `Quick test_empty_run;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+        Alcotest.test_case "run until deadline" `Quick test_run_until_deadline;
+        Alcotest.test_case "run while" `Quick test_run_while;
+        Alcotest.test_case "schedule_at clamped" `Quick test_schedule_at_past_clamped;
+        Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+        Alcotest.test_case "determinism" `Quick test_determinism_same_seed;
+        Alcotest.test_case "time helpers" `Quick test_time_helpers;
+      ] );
+  ]

@@ -1,0 +1,66 @@
+(* Statistics accumulator and cost-model helpers. *)
+
+let test_stats_basic () =
+  let s = Bft_util.Stats.create () in
+  List.iter (Bft_util.Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "count" 5 (Bft_util.Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Bft_util.Stats.mean s);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Bft_util.Stats.median s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Bft_util.Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Bft_util.Stats.max s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) (Bft_util.Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Bft_util.Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Bft_util.Stats.percentile s 1.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolated" 2.0 (Bft_util.Stats.percentile s 0.25)
+
+let test_stats_empty () =
+  let s = Bft_util.Stats.create () in
+  Alcotest.(check string) "summary" "n=0" (Bft_util.Stats.summary s);
+  Alcotest.check_raises "percentile on empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Bft_util.Stats.median s))
+
+let prop_percentile_monotone_and_bounded =
+  QCheck.Test.make ~name:"percentiles monotone within min/max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range 0.0 1000.0))
+    (fun xs ->
+      let s = Bft_util.Stats.create () in
+      List.iter (Bft_util.Stats.add s) xs;
+      let ps = List.map (Bft_util.Stats.percentile s) [ 0.1; 0.5; 0.9; 0.99 ] in
+      let sorted = List.sort compare ps in
+      ps = sorted
+      && List.for_all (fun p -> p >= Bft_util.Stats.min s && p <= Bft_util.Stats.max s) ps)
+
+let test_costs_helpers () =
+  let c = Bft_net.Costs.default in
+  Alcotest.(check (float 1e-9)) "digest fixed" c.Bft_net.Costs.digest_fixed_us
+    (Bft_net.Costs.digest_us c 0);
+  Alcotest.(check bool) "digest grows" true
+    (Bft_net.Costs.digest_us c 4096 > Bft_net.Costs.digest_us c 64);
+  Alcotest.(check (float 1e-9)) "auth linear in n"
+    (4.0 *. c.Bft_net.Costs.mac_us)
+    (Bft_net.Costs.auth_gen_us c 4);
+  Alcotest.(check bool) "wire grows" true
+    (Bft_net.Costs.wire_us c 1000 > Bft_net.Costs.wire_us c 0);
+  Alcotest.(check bool) "sig >> mac (3 orders)" true
+    (c.Bft_net.Costs.sig_gen_us >= 1000.0 *. c.Bft_net.Costs.mac_us)
+
+let test_costs_free_is_causal () =
+  (* the free model keeps a strictly positive wire hop so message causality
+     is preserved even in logical-time tests *)
+  Alcotest.(check bool) "positive wire latency" true
+    (Bft_net.Costs.free.Bft_net.Costs.wire_latency_us > 0.0)
+
+let suites =
+  [
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone_and_bounded;
+      ] );
+    ( "net.costs",
+      [
+        Alcotest.test_case "helpers" `Quick test_costs_helpers;
+        Alcotest.test_case "free model causal" `Quick test_costs_free_is_causal;
+      ] );
+  ]
