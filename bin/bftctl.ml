@@ -197,6 +197,109 @@ let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc:"Corrupt a replica's state and run proactive recovery.")
     Term.(const run $ verbose $ f_arg $ seed_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~doc:"Number of consecutive seeds to explore.")
+  in
+  let clients_arg = Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Closed-loop clients.") in
+  let ops_arg = Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Operations per client.") in
+  let horizon_arg =
+    Arg.(
+      value & opt float 60_000.0
+      & info [ "horizon-us" ] ~doc:"Fault-injection window in virtual microseconds.")
+  in
+  let schedule_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Replay an explicit fault schedule (the encoding printed for failing runs) \
+             instead of generating one from the seed.")
+  in
+  let no_vc_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-no-view-change" ]
+          ~doc:
+            "Debug oracle: treat any view change as a failure. View changes are expected \
+             under fault injection — this deliberately plants failures to demonstrate \
+             that shrinking reports a minimal replayable schedule.")
+  in
+  let print_failure params (r : Bft_check.Runner.run_result) =
+    Printf.printf "FAILED oracles:\n";
+    List.iter (fun f -> Printf.printf "  %s\n" f) r.Bft_check.Runner.failures;
+    Printf.printf "minimal schedule (%d events):\n" (List.length r.Bft_check.Runner.schedule);
+    Format.printf "  @[<v>%a@]@." Bft_check.Schedule.pp r.Bft_check.Runner.schedule;
+    Printf.printf "replay: %s\n" (Bft_check.Runner.replay_line params r.Bft_check.Runner.schedule)
+  in
+  let run verbose f seed seeds clients ops horizon_us schedule expect_no_view_change =
+    setup_logs verbose;
+    let params =
+      {
+        (Bft_check.Runner.default_params ~seed ~f) with
+        clients;
+        ops_per_client = ops;
+        horizon_us;
+        expect_no_view_change;
+      }
+    in
+    match schedule with
+    | Some s -> (
+        match Bft_check.Schedule.of_string s with
+        | Error e ->
+            Printf.eprintf "bad --schedule: %s\n" e;
+            exit 2
+        | Ok sched ->
+            let r = Bft_check.Runner.run_schedule params sched in
+            Printf.printf "seed %d: %d/%d ops, %d view change(s), max view %d\n" seed
+              r.Bft_check.Runner.completed_ops r.Bft_check.Runner.total_ops
+              r.Bft_check.Runner.view_changes r.Bft_check.Runner.max_view;
+            List.iter
+              (fun o ->
+                Printf.printf "  %-25s %s\n" o.Bft_check.Oracle.name
+                  (match o.Bft_check.Oracle.result with Ok () -> "ok" | Error e -> "FAIL: " ^ e))
+              r.Bft_check.Runner.report;
+            if Bft_check.Runner.failed r then begin
+              let sched', r' = Bft_check.Runner.shrink params sched in
+              ignore sched';
+              print_failure params r';
+              exit 1
+            end)
+    | None ->
+        let progress ~seed (r : Bft_check.Runner.run_result) =
+          if verbose then
+            Printf.printf "seed %d: %d/%d ops, %d vc, %s  [%s]\n%!" seed r.completed_ops
+              r.total_ops r.view_changes
+              (if Bft_check.Runner.failed r then "FAIL" else "ok")
+              (Bft_check.Schedule.to_string r.schedule)
+          else if (seed - params.Bft_check.Runner.seed + 1) mod 25 = 0 then
+            Printf.printf "... %d seeds\n%!" (seed - params.Bft_check.Runner.seed + 1)
+        in
+        let outcome = Bft_check.Runner.fuzz ~progress params ~seeds in
+        Printf.printf
+          "%d seeds: %d failing, %d completed ops, %d view changes explored, %d runs \
+           timed out live\n"
+          outcome.Bft_check.Runner.seeds_run
+          (List.length outcome.Bft_check.Runner.failing)
+          outcome.Bft_check.Runner.total_completed outcome.Bft_check.Runner.total_view_changes
+          outcome.Bft_check.Runner.live_incomplete;
+        List.iter
+          (fun (seed, r) ->
+            Printf.printf "--- seed %d ---\n" seed;
+            print_failure { params with seed } r)
+          outcome.Bft_check.Runner.failing;
+        if outcome.Bft_check.Runner.failing <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomized Byzantine fault-schedule fuzzing with safety oracles and shrinking.")
+    Term.(
+      const run $ verbose $ f_arg $ seed_arg $ seeds_arg $ clients_arg $ ops_arg $ horizon_arg
+      $ schedule_arg $ no_vc_arg)
+
 (* --- model --- *)
 
 let model_cmd =
@@ -218,4 +321,7 @@ let model_cmd =
 
 let () =
   let info = Cmd.info "bftctl" ~version:"1.0" ~doc:"Practical Byzantine Fault Tolerance simulator." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; latency_cmd; andrew_cmd; viewchange_cmd; recover_cmd; model_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; latency_cmd; andrew_cmd; viewchange_cmd; recover_cmd; model_cmd; fuzz_cmd ]))

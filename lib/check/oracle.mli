@@ -1,0 +1,44 @@
+(** Safety oracles evaluated over a finished fuzzer run.
+
+    Every check is a pure observation of the cluster's end state (plus
+    facts the runner recorded during the run); none assumes liveness — an
+    asynchronous schedule is free to starve progress, but it must never
+    make correct replicas disagree (paper Section 2.4). All checks range
+    over {!Bft_core.Cluster.correct_replicas} only: replicas the schedule
+    made Byzantine, rebooted, or muted are excluded by the runner. *)
+
+type observed = {
+  completed : (int * string * string) list;
+      (** [(client_id, op, result)] for every operation whose reply
+          certificate the client accepted during the run. *)
+  monotonic_violations : string list;
+      (** View / low-water-mark regressions caught by the runner's
+          periodic probes of correct replicas. *)
+}
+
+type outcome = { name : string; result : (unit, string) result }
+
+type report = outcome list
+
+val failures : report -> string list
+(** ["name: reason"] for each failed oracle. *)
+
+val evaluate :
+  cluster:Bft_core.Cluster.t ->
+  service:(unit -> Bft_sm.Service.t) ->
+  observed:observed ->
+  report
+(** Runs, in order:
+    - [histories-consistent]: no two correct replicas committed different
+      batches at the same sequence number;
+    - [linearizable]: sequential replay of the first correct replica's
+      committed prefix reproduces every recorded result;
+    - [at-most-once]: within each correct replica's committed prefix, each
+      [(client, op)] pair executes at a single sequence number (the
+      runner's workload issues each op string at most once);
+    - [client-results-committed]: a result accepted by a client matches
+      what every correct replica committed for that operation;
+    - [checkpoint-agreement]: any checkpoint sequence number stabilized by
+      two correct replicas has the same state digest at both;
+    - [monotonic-counters]: no probe observed a correct replica's view or
+      low water mark decreasing. *)

@@ -1,0 +1,302 @@
+module Engine = Bft_sim.Engine
+module Network = Bft_net.Network
+module Rng = Bft_util.Rng
+open Bft_core
+
+type params = {
+  seed : int;
+  f : int;
+  clients : int;
+  ops_per_client : int;
+  horizon_us : float;
+  drain_us : float;
+  checkpoint_interval : int;
+  vc_timeout_us : float;
+  expect_no_view_change : bool;
+}
+
+let default_params ~seed ~f =
+  {
+    seed;
+    f;
+    clients = 2;
+    ops_per_client = 10;
+    (* the workload spans a few tens of virtual milliseconds; the injection
+       window must overlap it or the schedule degenerates to a no-op *)
+    horizon_us = 60_000.0;
+    drain_us = 60_000_000.0;
+    checkpoint_interval = 8;
+    vc_timeout_us = 30_000.0;
+    expect_no_view_change = false;
+  }
+
+type run_result = {
+  schedule : Schedule.t;
+  report : Oracle.report;
+  failures : string list;
+  completed_ops : int;
+  total_ops : int;
+  view_changes : int;
+  max_view : int;
+}
+
+let failed r = r.failures <> []
+
+let service () = Bft_sm.Kv_service.create ()
+
+(* unique op string per (client slot, op index): the at-most-once oracle
+   relies on the workload never issuing the same op twice *)
+let op_for ~client_slot ~index = Printf.sprintf "put c%d.%d v%d" client_slot index index
+
+let schedule_rng seed = Rng.create (Int64.add (Int64.mul 1_000_003L (Int64.of_int seed)) 17L)
+
+let generate params =
+  let n = (3 * params.f) + 1 in
+  Schedule.generate ~rng:(schedule_rng params.seed) ~f:params.f ~n
+    ~horizon_us:params.horizon_us
+
+let run_schedule params sched =
+  let cfg =
+    Config.make ~f:params.f ~checkpoint_interval:params.checkpoint_interval
+      ~vc_timeout_us:params.vc_timeout_us ()
+  in
+  let cluster =
+    Cluster.create ~seed:(Int64.of_int params.seed) ~service ~num_clients:params.clients cfg
+  in
+  let engine = Cluster.engine cluster and net = Cluster.network cluster in
+  let n = cfg.Config.n in
+  let victims = Schedule.victims sched in
+  Cluster.correct_replicas cluster :=
+    List.filter (fun i -> not (List.mem i victims)) (Config.replica_ids cfg);
+  (* adversary rules: the composed hook applies the first matching rule *)
+  let rules = ref [] in
+  let install () =
+    match !rules with
+    | [] -> Network.clear_adversary net
+    | _ ->
+        Network.set_adversary net (fun ~src ~dst msg ->
+            let rec go = function
+              | [] -> `Pass
+              | (cls, s, d, act) :: rest ->
+                  if
+                    (match s with None -> true | Some x -> x = src)
+                    && (match d with None -> true | Some x -> x = dst)
+                    && Schedule.matches cls msg.Message.body
+                  then act
+                  else go rest
+            in
+            go !rules)
+  in
+  let apply = function
+    | Schedule.Set_loss p -> Network.set_loss_rate net p
+    | Schedule.Set_dup p -> Network.set_dup_rate net p
+    | Schedule.Set_jitter j -> Network.set_jitter_us net j
+    | Schedule.Link_loss (src, dst, p) -> Network.set_link_loss net ~src ~dst p
+    | Schedule.Partition (g1, g2) -> Network.partition net g1 g2
+    | Schedule.Heal -> Network.heal net
+    | Schedule.Net_crash i -> Network.crash net ~id:i
+    | Schedule.Net_restart i -> Network.restart net ~id:i
+    | Schedule.Crash_reboot i -> Replica.crash_reboot (Cluster.replica cluster i)
+    | Schedule.Make_byzantine i -> Replica.byzantine_equivocate (Cluster.replica cluster i) true
+    | Schedule.Mute i -> Replica.mute (Cluster.replica cluster i) true
+    | Schedule.Unmute i -> Replica.mute (Cluster.replica cluster i) false
+    | Schedule.Drop_class (c, s, d) ->
+        rules := !rules @ [ (c, s, d, `Drop) ];
+        install ()
+    | Schedule.Delay_class (c, s, d, us) ->
+        rules := !rules @ [ (c, s, d, `Delay us) ];
+        install ()
+    | Schedule.Clear_rules ->
+        rules := [];
+        install ()
+  in
+  List.iter
+    (fun e ->
+      ignore
+        (Engine.schedule_at engine (Engine.of_us_float e.Schedule.at_us) (fun () ->
+             apply e.Schedule.action)))
+    sched;
+  (* quiesce at the horizon: the network heals completely and faulty
+     replicas are repaired (they stay excluded from the oracles), so a live
+     run can finish its workload within the drain window *)
+  ignore
+    (Engine.schedule_at engine
+       (Engine.of_us_float params.horizon_us)
+       (fun () ->
+         rules := [];
+         Network.reset_faults net;
+         List.iter
+           (fun i ->
+             Replica.byzantine_equivocate (Cluster.replica cluster i) false;
+             Replica.mute (Cluster.replica cluster i) false)
+           victims));
+  (* monotonicity probes on correct replicas every 20ms of virtual time *)
+  let monotonic_violations = ref [] in
+  let prev = Array.init n (fun i ->
+      let r = Cluster.replica cluster i in
+      (Replica.view r, Replica.low_water_mark r))
+  in
+  let deadline = Engine.of_us_float (params.horizon_us +. params.drain_us) in
+  let rec probe () =
+    List.iter
+      (fun i ->
+        let r = Cluster.replica cluster i in
+        let v = Replica.view r and h = Replica.low_water_mark r in
+        let pv, ph = prev.(i) in
+        if v < pv then
+          monotonic_violations :=
+            Printf.sprintf "replica %d view regressed from %d to %d" i pv v
+            :: !monotonic_violations;
+        if h < ph then
+          monotonic_violations :=
+            Printf.sprintf "replica %d low water mark regressed from %d to %d" i ph h
+            :: !monotonic_violations;
+        prev.(i) <- (max v pv, max h ph))
+      !(Cluster.correct_replicas cluster);
+    if Int64.compare (Engine.now engine) deadline < 0 then
+      ignore (Engine.schedule engine ~delay:(Engine.ms 20) probe)
+  in
+  probe ();
+  (* closed-loop clients issuing unique writes *)
+  let total_ops = params.clients * params.ops_per_client in
+  let completed = ref [] and n_completed = ref 0 in
+  let rec drive slot index =
+    if index < params.ops_per_client then begin
+      let cl = Cluster.client cluster slot in
+      if Client.busy cl then
+        ignore (Engine.schedule engine ~delay:(Engine.us 500) (fun () -> drive slot index))
+      else
+        let op = op_for ~client_slot:slot ~index in
+        Client.invoke cl ~op (fun ~result ~latency_us:_ ->
+            completed := (n + slot, op, result) :: !completed;
+            incr n_completed;
+            ignore (Engine.schedule engine ~delay:(Engine.us 100) (fun () -> drive slot (index + 1))))
+    end
+  in
+  for slot = 0 to params.clients - 1 do
+    ignore (Engine.schedule engine ~delay:(Engine.us (137 * (slot + 1))) (fun () -> drive slot 0))
+  done;
+  ignore
+    (Cluster.run_until
+       ~timeout_us:(params.horizon_us +. params.drain_us)
+       cluster
+       (fun () -> !n_completed >= total_ops));
+  let observed =
+    { Oracle.completed = !completed; monotonic_violations = List.rev !monotonic_violations }
+  in
+  let report = Oracle.evaluate ~cluster ~service ~observed in
+  let correct = !(Cluster.correct_replicas cluster) in
+  let view_changes =
+    List.fold_left
+      (fun acc i -> acc + (Replica.counters (Cluster.replica cluster i)).Replica.n_view_changes)
+      0 correct
+  in
+  let max_view =
+    List.fold_left (fun acc i -> max acc (Replica.view (Cluster.replica cluster i))) 0 correct
+  in
+  let report =
+    if params.expect_no_view_change && view_changes > 0 then
+      report
+      @ [
+          {
+            Oracle.name = "expect-no-view-change";
+            result =
+              Error
+                (Printf.sprintf "correct replicas started %d view change(s)" view_changes);
+          };
+        ]
+    else report
+  in
+  {
+    schedule = sched;
+    report;
+    failures = Oracle.failures report;
+    completed_ops = !n_completed;
+    total_ops;
+    view_changes;
+    max_view;
+  }
+
+let run_seed params = run_schedule params (generate params)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let remove_slice l start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) l
+
+let shrink ?(budget = 200) params sched =
+  let best_run = run_schedule params sched in
+  if not (failed best_run) then (sched, best_run)
+  else begin
+    let budget = ref (budget - 1) in
+    let best = ref sched and best_result = ref best_run in
+    let try_candidate cand =
+      if !budget <= 0 || List.length cand >= List.length !best then false
+      else begin
+        decr budget;
+        let r = run_schedule params cand in
+        if failed r then begin
+          best := cand;
+          best_result := r;
+          true
+        end
+        else false
+      end
+    in
+    let chunk = ref (max 1 (List.length sched / 2)) in
+    while !chunk >= 1 && !budget > 0 do
+      let progressed = ref false in
+      let start = ref 0 in
+      while !start < List.length !best && !budget > 0 do
+        if try_candidate (remove_slice !best !start !chunk) then progressed := true
+          (* same start index now names the next chunk of the shorter list *)
+        else start := !start + !chunk
+      done;
+      if not !progressed then chunk := !chunk / 2
+    done;
+    (!best, !best_result)
+  end
+
+let replay_line params sched =
+  Printf.sprintf
+    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s"
+    params.seed params.f params.clients params.ops_per_client params.horizon_us
+    (Schedule.to_string sched)
+    (if params.expect_no_view_change then " --expect-no-view-change" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Seed enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type fuzz_outcome = {
+  seeds_run : int;
+  failing : (int * run_result) list;
+  live_incomplete : int;
+  total_view_changes : int;
+  total_completed : int;
+}
+
+let fuzz ?progress params ~seeds =
+  let failing = ref [] and live_incomplete = ref 0 in
+  let total_view_changes = ref 0 and total_completed = ref 0 in
+  for seed = params.seed to params.seed + seeds - 1 do
+    let params = { params with seed } in
+    let r = run_seed params in
+    total_view_changes := !total_view_changes + r.view_changes;
+    total_completed := !total_completed + r.completed_ops;
+    if r.completed_ops < r.total_ops && not (failed r) then incr live_incomplete;
+    if failed r then begin
+      let _, shrunk = shrink params r.schedule in
+      failing := (seed, shrunk) :: !failing
+    end;
+    match progress with Some f -> f ~seed r | None -> ()
+  done;
+  {
+    seeds_run = seeds;
+    failing = List.rev !failing;
+    live_incomplete = !live_incomplete;
+    total_view_changes = !total_view_changes;
+    total_completed = !total_completed;
+  }

@@ -1,0 +1,73 @@
+(** Fuzzer runner: executes fault schedules against a simulated cluster,
+    evaluates the safety oracles, and shrinks failing schedules.
+
+    A run is fully determined by [(params, schedule)]: the cluster seed
+    fixes the simulator and network RNG streams, and the schedule is either
+    derived deterministically from the seed ({!run_seed}) or supplied
+    explicitly ({!run_schedule}, used for replay and shrinking). *)
+
+type params = {
+  seed : int;
+  f : int;
+  clients : int;
+  ops_per_client : int;
+  horizon_us : float;  (** fault-injection window (virtual time) *)
+  drain_us : float;  (** post-quiesce time allowed for completion *)
+  checkpoint_interval : int;
+  vc_timeout_us : float;
+  expect_no_view_change : bool;
+      (** Debug pseudo-oracle: fail the run if any correct replica started
+          a view change. Views changes are {e expected} under fault
+          injection — this exists to plant a failure on demand and
+          demonstrate that shrinking reports a minimal schedule. *)
+}
+
+val default_params : seed:int -> f:int -> params
+
+type run_result = {
+  schedule : Schedule.t;
+  report : Oracle.report;
+  failures : string list;  (** [Oracle.failures] of [report] *)
+  completed_ops : int;  (** operations whose reply certificate arrived *)
+  total_ops : int;
+  view_changes : int;  (** view changes started by correct replicas *)
+  max_view : int;  (** highest view reached by any correct replica *)
+}
+
+val failed : run_result -> bool
+
+val generate : params -> Schedule.t
+(** The fault schedule derived deterministically from [params.seed]. *)
+
+val run_schedule : params -> Schedule.t -> run_result
+(** Build a cluster, inject the schedule's events at their virtual times,
+    drive [clients] closed-loop clients through unique KV writes, quiesce
+    all network faults at the horizon, and evaluate every oracle. *)
+
+val run_seed : params -> run_result
+(** [run_schedule] on the schedule generated from [params.seed]. *)
+
+val shrink : ?budget:int -> params -> Schedule.t -> Schedule.t * run_result
+(** Greedy delta-debugging: starting from a failing schedule, repeatedly
+    remove event chunks (halving chunk sizes down to single events) while
+    the failure reproduces, spending at most [budget] (default 200) runs.
+    Returns the smallest failing schedule found with its run. If the input
+    schedule does not fail, it is returned unchanged. *)
+
+val replay_line : params -> Schedule.t -> string
+(** A [bftctl fuzz] command line that reproduces the run exactly. *)
+
+type fuzz_outcome = {
+  seeds_run : int;
+  failing : (int * run_result) list;  (** seed, shrunk failing run *)
+  live_incomplete : int;
+      (** runs that timed out before completing every op (not a safety
+          failure: the schedule may simply starve progress) *)
+  total_view_changes : int;
+  total_completed : int;
+}
+
+val fuzz :
+  ?progress:(seed:int -> run_result -> unit) -> params -> seeds:int -> fuzz_outcome
+(** Run seeds [params.seed, params.seed + seeds); on each failure, shrink
+    it before recording. [progress] is called after every seed. *)

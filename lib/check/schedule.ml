@@ -1,0 +1,362 @@
+module Rng = Bft_util.Rng
+open Bft_core
+
+type msg_class =
+  | Pre_prepares
+  | Prepares
+  | Commits
+  | Checkpoints
+  | View_changes
+  | New_views
+  | Replies
+  | Requests
+  | Any
+
+type action =
+  | Set_loss of float
+  | Set_dup of float
+  | Set_jitter of float
+  | Link_loss of int * int * float
+  | Partition of int list * int list
+  | Heal
+  | Net_crash of int
+  | Net_restart of int
+  | Crash_reboot of int
+  | Make_byzantine of int
+  | Mute of int
+  | Unmute of int
+  | Drop_class of msg_class * int option * int option
+  | Delay_class of msg_class * int option * int option * float
+  | Clear_rules
+
+type event = { at_us : float; action : action }
+type t = event list
+
+let matches cls (m : Message.t) =
+  match (cls, m) with
+  | Any, _ -> true
+  | Pre_prepares, Message.Pre_prepare _ -> true
+  | Prepares, Message.Prepare _ -> true
+  | Commits, Message.Commit _ -> true
+  | Checkpoints, Message.Checkpoint _ -> true
+  | View_changes, (Message.View_change _ | Message.View_change_ack _) -> true
+  | New_views, Message.New_view _ -> true
+  | Replies, Message.Reply _ -> true
+  | Requests, Message.Request _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all_classes =
+  [|
+    Pre_prepares; Prepares; Commits; Checkpoints; View_changes; New_views; Replies;
+    Requests; Any;
+  |]
+
+let pick_weighted rng opts =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 opts in
+  let roll = Rng.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, g) :: rest -> if roll < acc + w then g () else go (acc + w) rest
+  in
+  go 0 opts
+
+let generate ~rng ~f ~n ~horizon_us =
+  let horizon = max 1 (int_of_float horizon_us) in
+  (* pick a victim set of at most f replicas; bias the first victim toward
+     the initial primary so view changes are actually exercised *)
+  let v_count =
+    let k = Rng.int rng (f + 1) in
+    if k = 0 && Rng.bool rng then min 1 f else k
+  in
+  let victims = ref [] in
+  for _ = 1 to v_count do
+    let cand =
+      if !victims = [] && Rng.bernoulli rng 0.5 then 0 else Rng.int rng n
+    in
+    if not (List.mem cand !victims) then victims := cand :: !victims
+  done;
+  let victims = !victims in
+  let n_events = 2 + Rng.int rng 9 in
+  (* quadratic bias toward the start of the window: the workload begins at
+     t=0, so late events tend to miss it *)
+  let times =
+    List.init n_events (fun _ ->
+        let u = Rng.float rng 1.0 in
+        Float.round (u *. u *. float_of_int horizon))
+    |> List.sort compare
+  in
+  (* running state, so the schedule stays within the crash budget and only
+     heals/unmutes/clears what an earlier event actually injected *)
+  let net_crashed = ref [] and muted = ref [] in
+  let partitioned = ref false and n_rules = ref 0 in
+  let replica () = Rng.int rng n in
+  let victim () = List.nth victims (Rng.int rng (List.length victims)) in
+  let endpoint () = if Rng.bool rng then None else Some (replica ()) in
+  let cls () = all_classes.(Rng.int rng (Array.length all_classes)) in
+  let split () =
+    let g1 = List.filter (fun _ -> Rng.bool rng) (List.init n Fun.id) in
+    let g1 = if g1 = [] || List.length g1 = n then [ Rng.int rng n ] else g1 in
+    let g2 = List.filter (fun i -> not (List.mem i g1)) (List.init n Fun.id) in
+    (g1, g2)
+  in
+  let gen_action () =
+    let opts =
+      [
+        (2, fun () -> Set_loss (Rng.float rng 0.25));
+        (1, fun () -> Set_dup (Rng.float rng 0.3));
+        (1, fun () -> Set_jitter (Rng.float rng 1500.0));
+        ( 1,
+          fun () ->
+            let src = replica () in
+            let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+            Link_loss (src, dst, 0.2 +. Rng.float rng 0.6) );
+        ( 2,
+          fun () ->
+            if !partitioned then begin
+              partitioned := false;
+              Heal
+            end
+            else begin
+              partitioned := true;
+              let g1, g2 = split () in
+              Partition (g1, g2)
+            end );
+        ( 2,
+          fun () ->
+            if List.length !net_crashed < f then begin
+              let id = replica () in
+              if List.mem id !net_crashed then Set_loss (Rng.float rng 0.25)
+              else begin
+                net_crashed := id :: !net_crashed;
+                Net_crash id
+              end
+            end
+            else
+              match !net_crashed with
+              | id :: rest ->
+                  net_crashed := rest;
+                  Net_restart id
+              | [] -> Set_loss (Rng.float rng 0.25) );
+        ( 1,
+          fun () ->
+            match !net_crashed with
+            | id :: rest ->
+                net_crashed := rest;
+                Net_restart id
+            | [] -> Set_dup (Rng.float rng 0.3) );
+        ( 2,
+          fun () ->
+            incr n_rules;
+            Drop_class (cls (), endpoint (), endpoint ()) );
+        ( 1,
+          fun () ->
+            incr n_rules;
+            Delay_class (cls (), endpoint (), endpoint (), 200.0 +. Rng.float rng 4800.0) );
+        ( 1,
+          fun () ->
+            if !n_rules > 0 then begin
+              n_rules := 0;
+              Clear_rules
+            end
+            else Set_jitter (Rng.float rng 1500.0) );
+      ]
+      @
+      if victims = [] then []
+      else
+        [
+          (2, fun () -> Make_byzantine (victim ()));
+          (1, fun () -> Crash_reboot (victim ()));
+          ( 1,
+            fun () ->
+              let v = victim () in
+              if List.mem v !muted then Unmute v
+              else begin
+                muted := v :: !muted;
+                Mute v
+              end );
+          ( 1,
+            fun () ->
+              match !muted with
+              | v :: rest ->
+                  muted := rest;
+                  Unmute v
+              | [] -> Make_byzantine (victim ()) );
+        ]
+    in
+    pick_weighted rng opts
+  in
+  List.map (fun at_us -> { at_us; action = gen_action () }) times
+
+let victims t =
+  List.filter_map
+    (fun e ->
+      match e.action with
+      | Crash_reboot i | Make_byzantine i | Mute i -> Some i
+      | _ -> None)
+    t
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Textual encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let class_code = function
+  | Pre_prepares -> "pp"
+  | Prepares -> "p"
+  | Commits -> "c"
+  | Checkpoints -> "ck"
+  | View_changes -> "vc"
+  | New_views -> "nv"
+  | Replies -> "rep"
+  | Requests -> "req"
+  | Any -> "any"
+
+let class_of_code = function
+  | "pp" -> Some Pre_prepares
+  | "p" -> Some Prepares
+  | "c" -> Some Commits
+  | "ck" -> Some Checkpoints
+  | "vc" -> Some View_changes
+  | "nv" -> Some New_views
+  | "rep" -> Some Replies
+  | "req" -> Some Requests
+  | "any" -> Some Any
+  | _ -> None
+
+let endpoint_code = function None -> "*" | Some i -> string_of_int i
+let ids_code ids = String.concat "," (List.map string_of_int ids)
+
+let action_code = function
+  | Set_loss p -> Printf.sprintf "loss:%g" p
+  | Set_dup p -> Printf.sprintf "dup:%g" p
+  | Set_jitter j -> Printf.sprintf "jit:%g" j
+  | Link_loss (s, d, p) -> Printf.sprintf "lloss:%d:%d:%g" s d p
+  | Partition (g1, g2) -> Printf.sprintf "part:%s|%s" (ids_code g1) (ids_code g2)
+  | Heal -> "heal"
+  | Net_crash i -> Printf.sprintf "crash:%d" i
+  | Net_restart i -> Printf.sprintf "restart:%d" i
+  | Crash_reboot i -> Printf.sprintf "reboot:%d" i
+  | Make_byzantine i -> Printf.sprintf "byz:%d" i
+  | Mute i -> Printf.sprintf "mute:%d" i
+  | Unmute i -> Printf.sprintf "unmute:%d" i
+  | Drop_class (c, s, d) ->
+      Printf.sprintf "drop:%s:%s:%s" (class_code c) (endpoint_code s) (endpoint_code d)
+  | Delay_class (c, s, d, us) ->
+      Printf.sprintf "delay:%s:%s:%s:%g" (class_code c) (endpoint_code s)
+        (endpoint_code d) us
+  | Clear_rules -> "clear"
+
+let to_string t =
+  String.concat ";"
+    (List.map (fun e -> Printf.sprintf "%g@%s" e.at_us (action_code e.action)) t)
+
+let parse_error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_endpoint s =
+  if s = "*" then Ok None
+  else match int_of_string_opt s with Some i -> Ok (Some i) | None -> parse_error "bad endpoint %S" s
+
+let parse_ids s =
+  if s = "" then Ok []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt p with
+          | Some i -> go (i :: acc) rest
+          | None -> parse_error "bad id %S" p)
+    in
+    go [] parts
+
+let ( let* ) r f = Result.bind r f
+
+let parse_action s =
+  match String.split_on_char ':' s with
+  | [ "heal" ] -> Ok Heal
+  | [ "clear" ] -> Ok Clear_rules
+  | [ "loss"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (Set_loss p)
+      | None -> parse_error "bad loss %S" p)
+  | [ "dup"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (Set_dup p)
+      | None -> parse_error "bad dup %S" p)
+  | [ "jit"; j ] -> (
+      match float_of_string_opt j with
+      | Some j -> Ok (Set_jitter j)
+      | None -> parse_error "bad jitter %S" j)
+  | [ "lloss"; s'; d; p ] -> (
+      match (int_of_string_opt s', int_of_string_opt d, float_of_string_opt p) with
+      | Some s', Some d, Some p -> Ok (Link_loss (s', d, p))
+      | _ -> parse_error "bad link-loss %S" s)
+  | [ "part"; groups ] -> (
+      match String.split_on_char '|' groups with
+      | [ a; b ] ->
+          let* g1 = parse_ids a in
+          let* g2 = parse_ids b in
+          Ok (Partition (g1, g2))
+      | _ -> parse_error "bad partition %S" groups)
+  | [ ("crash" | "restart" | "reboot" | "byz" | "mute" | "unmute") as verb; i ] -> (
+      match int_of_string_opt i with
+      | None -> parse_error "bad replica id %S" i
+      | Some i -> (
+          match verb with
+          | "crash" -> Ok (Net_crash i)
+          | "restart" -> Ok (Net_restart i)
+          | "reboot" -> Ok (Crash_reboot i)
+          | "byz" -> Ok (Make_byzantine i)
+          | "mute" -> Ok (Mute i)
+          | _ -> Ok (Unmute i)))
+  | [ "drop"; c; src; dst ] -> (
+      match class_of_code c with
+      | None -> parse_error "bad message class %S" c
+      | Some c ->
+          let* src = parse_endpoint src in
+          let* dst = parse_endpoint dst in
+          Ok (Drop_class (c, src, dst)))
+  | [ "delay"; c; src; dst; us ] -> (
+      match (class_of_code c, float_of_string_opt us) with
+      | Some c, Some us ->
+          let* src = parse_endpoint src in
+          let* dst = parse_endpoint dst in
+          Ok (Delay_class (c, src, dst, us))
+      | _ -> parse_error "bad delay rule %S" s)
+  | _ -> parse_error "unknown action %S" s
+
+let parse_event s =
+  match String.index_opt s '@' with
+  | None -> parse_error "missing '@' in event %S" s
+  | Some i -> (
+      let time = String.sub s 0 i in
+      let act = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt time with
+      | None -> parse_error "bad event time %S" time
+      | Some at_us ->
+          let* action = parse_action act in
+          Ok { at_us; action })
+
+let of_string s =
+  if String.trim s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.sort (fun a b -> compare a.at_us b.at_us) (List.rev acc))
+      | part :: rest ->
+          let* e = parse_event (String.trim part) in
+          go (e :: acc) rest
+    in
+    go [] (String.split_on_char ';' (String.trim s))
+
+let pp fmt t =
+  if t = [] then Format.fprintf fmt "(empty schedule)"
+  else
+    List.iteri
+      (fun i e ->
+        if i > 0 then Format.fprintf fmt "@\n";
+        Format.fprintf fmt "t=%8.0fus  %s" e.at_us (action_code e.action))
+      t

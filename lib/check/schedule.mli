@@ -1,0 +1,74 @@
+(** Byzantine fault schedules: timed fault-injection timelines over a
+    {!Bft_core.Cluster.t} run.
+
+    A schedule is derived deterministically from a single RNG stream, so a
+    [(seed, parameters)] pair fully determines a fuzzer run. Schedules have
+    a canonical one-line textual encoding ({!to_string} / {!of_string})
+    used to replay and to report shrunk counterexamples.
+
+    Replica-fault actions ([Make_byzantine], [Crash_reboot], [Mute]) are
+    restricted by the generator to a victim set of at most [f] replicas —
+    the paper's fault assumption (Section 2.1). Network-level actions
+    (loss, duplication, jitter, link loss, partitions, adversarial drops
+    and delays, network crashes) model the asynchronous unreliable network
+    and may target anyone: safety must hold under any such schedule. *)
+
+(** Protocol message classes an adversary rule can target. *)
+type msg_class =
+  | Pre_prepares
+  | Prepares
+  | Commits
+  | Checkpoints
+  | View_changes
+  | New_views
+  | Replies
+  | Requests
+  | Any
+
+type action =
+  | Set_loss of float  (** global link-level loss probability *)
+  | Set_dup of float  (** global duplication probability *)
+  | Set_jitter of float  (** wire jitter bound, microseconds *)
+  | Link_loss of int * int * float  (** directional per-link loss *)
+  | Partition of int list * int list
+  | Heal
+  | Net_crash of int  (** network unreachability; replica state intact *)
+  | Net_restart of int
+  | Crash_reboot of int  (** victim: lose volatile state, rejoin *)
+  | Make_byzantine of int  (** victim: equivocating primary *)
+  | Mute of int  (** victim: fail-silent *)
+  | Unmute of int
+  | Drop_class of msg_class * int option * int option
+      (** adversary rule: drop [class] messages from [src] to [dst]
+          ([None] = any) *)
+  | Delay_class of msg_class * int option * int option * float
+      (** like [Drop_class] but adds the given microseconds of wire delay *)
+  | Clear_rules  (** remove all installed adversary rules *)
+
+type event = { at_us : float; action : action }
+
+type t = event list
+(** Sorted by [at_us], ascending. *)
+
+val generate : rng:Bft_util.Rng.t -> f:int -> n:int -> horizon_us:float -> t
+(** Derive a schedule of injected events over [0, horizon_us). The
+    generator tracks its own net-crash budget (at most [f] simultaneously
+    unreachable replicas) and emits heals/restarts so most runs stay live;
+    the runner force-quiesces at the horizon regardless. *)
+
+val victims : t -> int list
+(** Replica ids subjected to replica-fault actions — the replicas a run's
+    safety oracles must exclude. Sorted, deduplicated. *)
+
+val matches : msg_class -> Bft_core.Message.t -> bool
+
+val to_string : t -> string
+(** Canonical compact encoding, e.g.
+    ["120000@loss:0.12;340000@byz:0;500000@drop:pp:0:*"]. The empty
+    schedule encodes as [""]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

@@ -105,25 +105,21 @@ let invoke_sync_latency ?(timeout_us = 10_000_000.0) t ~client:k ?(read_only = f
 let invoke_sync ?timeout_us t ~client ?read_only op =
   fst (invoke_sync_latency ?timeout_us t ~client ?read_only op)
 
+(* Final execution per sequence number within the committed prefix: the
+   batch journal records every execution wave (including null batches), and
+   a view-change rollback re-executes from the restored checkpoint, so the
+   last record per sequence number is the content that stands. *)
+let committed_content r =
+  let upto = Replica.committed_upto r in
+  let tbl : (int, (int * string * string) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (seq, recs) -> if seq <= upto then Hashtbl.replace tbl seq recs)
+    (Replica.executed_batches r);
+  tbl
+
 let committed_histories_consistent t =
-  (* compare executed batches per sequence number across correct replicas,
-     restricted to each replica's committed prefix *)
-  let histories =
-    List.map
-      (fun i ->
-        let r = t.replicas.(i) in
-        let upto = Replica.committed_upto r in
-        (* seq -> ordered (client, op) list, last write wins for redos *)
-        let tbl = Hashtbl.create 64 in
-        List.iter
-          (fun (seq, cl, op, _res) ->
-            if seq <= upto then
-              let prev = Option.value ~default:[] (Hashtbl.find_opt tbl seq) in
-              Hashtbl.replace tbl seq (prev @ [ (cl, op) ]))
-          (Replica.executed_ops r);
-        (i, tbl))
-      !(t.correct)
-  in
+  let histories = List.map (fun i -> (i, committed_content t.replicas.(i))) !(t.correct) in
+  let ops recs = List.map (fun (cl, op, _res) -> (cl, op)) recs in
   let ok = ref true in
   List.iter
     (fun (i, h1) ->
@@ -131,60 +127,33 @@ let committed_histories_consistent t =
         (fun (j, h2) ->
           if i < j then
             Hashtbl.iter
-              (fun seq ops1 ->
+              (fun seq recs1 ->
                 match Hashtbl.find_opt h2 seq with
-                | Some ops2 ->
-                    (* compare the final (committed) execution at this seq:
-                       the last recorded batch content *)
-                    let last l = List.nth l (List.length l - 1) in
-                    ignore last;
-                    if ops1 <> ops2 then begin
-                      (* allow re-execution duplicates: compare deduped *)
-                      let dedup l = List.sort_uniq compare l in
-                      if dedup ops1 <> dedup ops2 then ok := false
-                    end
+                | Some recs2 -> if ops recs1 <> ops recs2 then ok := false
                 | None -> ())
               h1)
         histories)
     histories;
   !ok
 
-let check_linearizable t ~service =
-  let r0 = t.replicas.(0) in
-  let upto = Replica.committed_upto r0 in
-  (* first-recorded content per sequence number; later re-executions (after
-     a view-change rollback) must agree on the committed prefix *)
-  let by_seq : (int, (int * string * string) list) Hashtbl.t = Hashtbl.create 64 in
-  let conflict = ref None in
-  List.iter
-    (fun (seq, client, op, result) ->
-      if seq <= upto then
-        let prev = Option.value ~default:[] (Hashtbl.find_opt by_seq seq) in
-        if List.exists (fun (c, o, r) -> c = client && o = op && r <> result) prev then
-          conflict := Some seq
-        else if not (List.exists (fun (c, o, _) -> c = client && o = op) prev) then
-          Hashtbl.replace by_seq seq (prev @ [ (client, op, result) ]))
-    (Replica.executed_ops r0);
-  match !conflict with
-  | Some seq -> Error (Printf.sprintf "re-execution of seq %d diverged" seq)
-  | None ->
-      let svc = service () in
-      let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) by_seq [] |> List.sort compare in
-      let rec replay = function
-        | [] -> Ok ()
-        | seq :: rest ->
-            let ops = Hashtbl.find by_seq seq in
-            let rec run = function
-              | [] -> replay rest
-              | (client, op, recorded) :: more ->
-                  let replayed = svc.Bft_sm.Service.execute ~client ~op ~nondet:"" in
-                  if String.equal replayed recorded then run more
-                  else
-                    Error
-                      (Printf.sprintf
-                         "seq %d client %d op %S: recorded %S but sequential replay gives %S"
-                         seq client op recorded replayed)
-            in
-            run ops
-      in
-      replay seqs
+let check_linearizable ?(replica = 0) t ~service =
+  let by_seq = committed_content t.replicas.(replica) in
+  let svc = service () in
+  let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) by_seq [] |> List.sort compare in
+  let rec replay = function
+    | [] -> Ok ()
+    | seq :: rest ->
+        let rec run = function
+          | [] -> replay rest
+          | (client, op, recorded) :: more ->
+              let replayed = svc.Bft_sm.Service.execute ~client ~op ~nondet:"" in
+              if String.equal replayed recorded then run more
+              else
+                Error
+                  (Printf.sprintf
+                     "seq %d client %d op %S: recorded %S but sequential replay gives %S"
+                     seq client op recorded replayed)
+        in
+        run (Hashtbl.find by_seq seq)
+  in
+  replay seqs

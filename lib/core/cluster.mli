@@ -54,8 +54,8 @@ val correct_replicas : t -> int list ref
     injected by tests should remove the faulty ids. Defaults to all. *)
 
 val check_linearizable :
-  t -> service:(unit -> Bft_sm.Service.t) -> (unit, string) result
-(** Replay the committed prefix of replica 0's execution history, in
+  ?replica:int -> t -> service:(unit -> Bft_sm.Service.t) -> (unit, string) result
+(** Replay the committed prefix of [replica]'s (default 0) execution history, in
     sequence order, against a fresh instance of the service, and check that
     every recorded result matches — the observable half of the paper's
     modified-linearizability condition (Section 2.4.3): committed

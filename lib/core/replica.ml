@@ -112,6 +112,11 @@ type t = {
   mutable last_recovery_reply : (int, int64) Hashtbl.t; (* replica -> counter seen *)
   (* execution history for linearizability checks *)
   mutable history : (int * int * string * string) list; (* newest first *)
+  (* per-batch execution journal, newest first: every call to
+     [execute_batch] appends one record (empty list for null batches), so
+     after a view-change rollback the *last* record per sequence number is
+     the content that stands — rollback-proof committed history *)
+  mutable batch_journal : (int * (int * string * string) list) list;
   (* fault injection *)
   mutable byzantine : bool;
   mutable muted : bool;
@@ -130,10 +135,13 @@ let is_active t = t.active
 let last_executed t = t.last_exec
 let committed_upto t = t.committed_upto
 let stable_checkpoint t = Checkpoint_store.stable_seq t.ckpts
+let low_water_mark t = Log.low_mark t.log
+let checkpoints_held t = Checkpoint_store.held t.ckpts
 let is_recovering t = t.recovering <> None
 let counters t = t.counters
 let service_state t = t.d.service.Bft_sm.Service.snapshot ()
 let executed_ops t = List.rev t.history
+let executed_batches t = List.rev t.batch_journal
 let primary_of t v = Config.primary t.d.cfg ~view:v
 let primary t = primary_of t t.view
 let is_primary t = primary t = t.id
@@ -402,6 +410,7 @@ let execute_batch t n ~tentative =
   | Some pp, Some d ->
       let is_null = String.equal d Wire.null_batch_digest in
       let elems = if is_null then [] else pp.pp_batch in
+      let wave = ref [] in
       List.iter
         (fun elem ->
           match resolve_elem t elem with
@@ -448,6 +457,7 @@ let execute_batch t n ~tentative =
                 in
                 t.counters.n_executed <- t.counters.n_executed + 1;
                 t.history <- (n, req.client, req.op, result) :: t.history;
+                wave := (req.client, req.op, result) :: !wave;
                 Hashtbl.replace t.last_reply req.client (req.timestamp, result, t.view);
                 clear_waiting t (Wire.request_digest req);
                 (* reply: full result from the designated replier or for small
@@ -494,6 +504,7 @@ let execute_batch t n ~tentative =
                 | None -> ()
               end)
         elems;
+      t.batch_journal <- (n, List.rev !wave) :: t.batch_journal;
       t.counters.n_batches <- t.counters.n_batches + 1;
       (* executing a request proves the view is live: reset the view-change
          timeout to its initial value (liveness rule, Section 2.3.5) *)
@@ -2094,6 +2105,7 @@ let create d ~id =
       coproc_counter = 0L;
       last_recovery_reply = Hashtbl.create 4;
       history = [];
+      batch_journal = [];
       byzantine = false;
       muted = false;
       null_fill_until = 0;

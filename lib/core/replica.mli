@@ -47,6 +47,16 @@ val is_active : t -> bool
 val last_executed : t -> int
 val committed_upto : t -> int
 val stable_checkpoint : t -> int
+
+val low_water_mark : t -> int
+(** The log's low water mark h (Section 2.3.4). Monotonically
+    non-decreasing at a correct replica — a fuzzer safety invariant. *)
+
+val checkpoints_held : t -> (int * string) list
+(** [(seq, digest)] of every retained checkpoint, ascending. Correct
+    replicas must agree on the digest of any checkpoint sequence number
+    they have both stabilized — the checkpoint-agreement oracle. *)
+
 val is_recovering : t -> bool
 
 val service_state : t -> string
@@ -57,6 +67,14 @@ val executed_ops : t -> (int * int * string * string) list
     first — the observable commit order used by linearizability checks.
     Re-executions after a rollback are recorded again; consumers compare
     committed prefixes. *)
+
+val executed_batches : t -> (int * (int * string * string) list) list
+(** Per-batch execution journal, oldest first: one
+    [(seq, [(client, op, result); ...])] record for every batch execution,
+    including null batches (empty list). A view-change rollback re-executes
+    from the restored checkpoint, appending fresh records, so the {e last}
+    record for a sequence number is the content that stands — the
+    rollback-proof basis for the whole-system safety checks. *)
 
 (** {2 Fault injection (testing / benchmarks)} *)
 

@@ -27,6 +27,8 @@ type 'msg t = {
   mutable dup_rate : float;
   mutable jitter_us : float;
   mutable partition : (int list * int list) option;
+  (* directional per-link loss rates, layered on top of the global rate *)
+  link_loss : (int * int, float) Hashtbl.t;
   mutable adversary :
     (src:int -> dst:int -> 'msg -> [ `Pass | `Drop | `Delay of float ]) option;
 }
@@ -42,6 +44,7 @@ let create ~engine ~costs ~rng () =
     dup_rate = 0.0;
     jitter_us = costs.Costs.jitter_us;
     partition = None;
+    link_loss = Hashtbl.create 8;
     adversary = None;
   }
 
@@ -135,8 +138,13 @@ let transmit t ~src ~dst ~size ~depart msg =
     match verdict with
     | `Drop -> t.stat.dropped <- t.stat.dropped + 1
     | (`Pass | `Delay _) as v ->
-        if Bft_util.Rng.bernoulli t.rng t.loss_rate then
-          t.stat.dropped <- t.stat.dropped + 1
+        let link_rate =
+          Option.value ~default:0.0 (Hashtbl.find_opt t.link_loss (src, dst))
+        in
+        if
+          Bft_util.Rng.bernoulli t.rng t.loss_rate
+          || (link_rate > 0.0 && Bft_util.Rng.bernoulli t.rng link_rate)
+        then t.stat.dropped <- t.stat.dropped + 1
         else begin
           let extra = match v with `Delay us -> us | `Pass -> 0.0 in
           let jitter =
@@ -203,5 +211,19 @@ let restart t ~id =
   n.busy_until <- Engine.now t.engine
 
 let is_crashed t ~id = (node t id).crashed
+let set_link_loss t ~src ~dst p =
+  if p <= 0.0 then Hashtbl.remove t.link_loss (src, dst)
+  else Hashtbl.replace t.link_loss (src, dst) p
+
+let clear_link_loss t = Hashtbl.reset t.link_loss
 let set_adversary t f = t.adversary <- Some f
 let clear_adversary t = t.adversary <- None
+
+let reset_faults t =
+  t.loss_rate <- 0.0;
+  t.dup_rate <- 0.0;
+  t.jitter_us <- t.costs.Costs.jitter_us;
+  t.partition <- None;
+  t.adversary <- None;
+  Hashtbl.reset t.link_loss;
+  Hashtbl.iter (fun id n -> if n.crashed then restart t ~id) t.nodes

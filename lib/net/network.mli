@@ -77,9 +77,21 @@ val restart : 'msg t -> id:int -> unit
 
 val is_crashed : 'msg t -> id:int -> bool
 
+val set_link_loss : 'msg t -> src:int -> dst:int -> float -> unit
+(** Directional per-link loss rate, applied on top of the global rate
+    (asymmetric lossy links; [0.0] clears the entry). *)
+
+val clear_link_loss : 'msg t -> unit
+
 val set_adversary :
   'msg t -> (src:int -> dst:int -> 'msg -> [ `Pass | `Drop | `Delay of float ]) -> unit
 (** Per-message adversary decision, consulted before normal loss; [`Delay]
     adds the given microseconds of extra wire delay. *)
 
 val clear_adversary : 'msg t -> unit
+
+val reset_faults : 'msg t -> unit
+(** Return the network to a fault-free state in one call: zero loss and
+    duplication, default jitter, no partition, no per-link loss, no
+    adversary, and every crashed node restarted. Used by the fuzzer to
+    quiesce after the fault-injection window. *)

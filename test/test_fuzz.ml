@@ -1,0 +1,140 @@
+(* Fault-schedule fuzzer: bounded smoke fuzz, a pinned regression seed that
+   exercises a view change, and a self-test of the shrinker via the planted
+   expect-no-view-change pseudo-oracle. *)
+
+open Bft_check
+
+let params ?(seed = 1) () = Runner.default_params ~seed ~f:1
+
+(* --- schedule determinism and encoding --- *)
+
+let test_generation_deterministic () =
+  for seed = 1 to 20 do
+    let s1 = Runner.generate (params ~seed ())
+    and s2 = Runner.generate (params ~seed ()) in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d generates the same schedule twice" seed)
+      (Schedule.to_string s1) (Schedule.to_string s2)
+  done
+
+let test_schedule_string_roundtrip () =
+  for seed = 1 to 50 do
+    let s = Runner.generate (params ~seed ()) in
+    match Schedule.of_string (Schedule.to_string s) with
+    | Error e -> Alcotest.failf "seed %d: of_string failed: %s" seed e
+    | Ok s' ->
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d round-trips" seed)
+          (Schedule.to_string s) (Schedule.to_string s')
+  done
+
+let test_victim_budget () =
+  (* replica faults are confined to at most f victims (Section 2.1) *)
+  for seed = 1 to 100 do
+    let p = params ~seed () in
+    let victims = Schedule.victims (Runner.generate p) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: %d victims <= f" seed (List.length victims))
+      true
+      (List.length victims <= p.Runner.f)
+  done
+
+let test_bad_schedule_strings_rejected () =
+  List.iter
+    (fun s ->
+      match Schedule.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed schedule %S" s)
+    [ "nonsense"; "10@"; "@crash:0"; "10@crash:x"; "10@loss"; "10@drop:zz:*:*"; "x@heal" ]
+
+(* --- smoke fuzz --- *)
+
+let test_smoke_fuzz () =
+  let outcome = Runner.fuzz (params ()) ~seeds:50 in
+  List.iter
+    (fun (seed, r) ->
+      Alcotest.failf "seed %d violated %s\nschedule: %s" seed
+        (String.concat "; " r.Runner.failures)
+        (Schedule.to_string r.Runner.schedule))
+    outcome.Runner.failing;
+  Alcotest.(check int) "all seeds ran" 50 outcome.Runner.seeds_run;
+  (* the tuned generator must actually stress the protocol: across 50 seeds
+     some schedules must displace the primary *)
+  Alcotest.(check bool)
+    (Printf.sprintf "view changes explored (%d)" outcome.Runner.total_view_changes)
+    true
+    (outcome.Runner.total_view_changes > 0)
+
+(* --- pinned regression: a seed whose schedule forces a view change --- *)
+
+let regression_seed = 46
+
+let test_view_change_seed_regression () =
+  let r = Runner.run_seed (params ~seed:regression_seed ()) in
+  Alcotest.(check (list string)) "no oracle failures" [] r.Runner.failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "view changes occurred (%d)" r.Runner.view_changes)
+    true (r.Runner.view_changes > 0);
+  Alcotest.(check int) "every request committed" r.Runner.total_ops r.Runner.completed_ops
+
+let test_regression_seed_replays_from_string () =
+  (* the replay path (--schedule) must reproduce the seeded run exactly *)
+  let p = params ~seed:regression_seed () in
+  let sched = Runner.generate p in
+  let encoded = Schedule.to_string sched in
+  match Schedule.of_string encoded with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok sched' ->
+      let a = Runner.run_schedule p sched and b = Runner.run_schedule p sched' in
+      Alcotest.(check int) "same completions" a.Runner.completed_ops b.Runner.completed_ops;
+      Alcotest.(check int) "same view changes" a.Runner.view_changes b.Runner.view_changes;
+      Alcotest.(check (list string)) "same failures" a.Runner.failures b.Runner.failures
+
+(* --- shrinker self-test --- *)
+
+let test_shrinker_minimizes () =
+  (* plant a failure: seed 46's schedule crashes the primary, so the
+     expect-no-view-change pseudo-oracle must fail — and the shrinker must
+     strip the schedule down to the events that force the view change *)
+  let p = { (params ~seed:regression_seed ()) with Runner.expect_no_view_change = true } in
+  let original = Runner.generate p in
+  let r = Runner.run_schedule p original in
+  Alcotest.(check bool) "planted oracle fails" true (Runner.failed r);
+  let shrunk, shrunk_run = Runner.shrink p original in
+  Alcotest.(check bool) "shrunk schedule still fails" true (Runner.failed shrunk_run);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk %d -> %d events" (List.length original) (List.length shrunk))
+    true
+    (List.length shrunk <= List.length original && List.length shrunk >= 1);
+  (* the minimal counterexample must be replayable: encode, decode, re-run *)
+  (match Schedule.of_string (Schedule.to_string shrunk) with
+  | Error e -> Alcotest.failf "shrunk schedule does not round-trip: %s" e
+  | Ok s ->
+      Alcotest.(check bool) "decoded shrunk schedule still fails" true
+        (Runner.failed (Runner.run_schedule p s)));
+  let line = Runner.replay_line p shrunk in
+  Alcotest.(check bool) "replay line names the seed" true
+    (let needle = Printf.sprintf "--seed %d" regression_seed in
+     let rec contains i =
+       i + String.length needle <= String.length line
+       && (String.sub line i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0)
+
+let suites =
+  [
+    ( "check.schedule",
+      [
+        Alcotest.test_case "generation deterministic" `Quick test_generation_deterministic;
+        Alcotest.test_case "string roundtrip" `Quick test_schedule_string_roundtrip;
+        Alcotest.test_case "victim budget" `Quick test_victim_budget;
+        Alcotest.test_case "malformed strings rejected" `Quick test_bad_schedule_strings_rejected;
+      ] );
+    ( "check.fuzz",
+      [
+        Alcotest.test_case "smoke fuzz (50 seeds)" `Slow test_smoke_fuzz;
+        Alcotest.test_case "view-change seed regression" `Quick test_view_change_seed_regression;
+        Alcotest.test_case "replay from schedule string" `Quick test_regression_seed_replays_from_string;
+        Alcotest.test_case "shrinker minimizes" `Slow test_shrinker_minimizes;
+      ] );
+  ]

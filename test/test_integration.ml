@@ -283,6 +283,34 @@ let test_byzantine_primary_safety () =
   Alcotest.(check bool) "victim backup repaired via state transfer" true
     (Replica.last_executed (Cluster.replica c 2) >= 16)
 
+let test_byzantine_primary_view_change_linearizable () =
+  (* a primary that turns byzantine mid-run first equivocates, then falls
+     silent — both within the fault model's "arbitrary behaviour". The
+     cluster must complete the resulting view change and the correct
+     replicas' committed history must remain linearizable (checked against
+     replica 1, since replica 0 is the faulty one) *)
+  let _, c = make ~service:kv ~clients:2 () in
+  for i = 1 to 4 do
+    ignore (Cluster.invoke_sync c ~client:0 (Printf.sprintf "put k%d v%d" i i))
+  done;
+  let primary = Cluster.replica c 0 in
+  Replica.byzantine_equivocate primary true;
+  Cluster.correct_replicas c := [ 1; 2; 3 ];
+  for i = 5 to 8 do
+    ignore
+      (Cluster.invoke_sync ~timeout_us:60_000_000.0 c ~client:0 (Printf.sprintf "put k%d v%d" i i))
+  done;
+  Replica.mute primary true;
+  for i = 9 to 12 do
+    ignore
+      (Cluster.invoke_sync ~timeout_us:60_000_000.0 c ~client:1 (Printf.sprintf "put k%d v%d" i i))
+  done;
+  Alcotest.(check bool) "view advanced" true (Replica.view (Cluster.replica c 1) >= 1);
+  Alcotest.(check bool) "histories consistent" true (Cluster.committed_histories_consistent c);
+  match Cluster.check_linearizable ~replica:1 c ~service:kv with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "linearizability after byzantine primary: %s" e
+
 let test_byzantine_client_partial_auth () =
   let _, c = make ~service:kv ~clients:2 () in
   Client.byzantine_partial_auth (Cluster.client c 1) true;
@@ -595,6 +623,8 @@ let suites =
         Alcotest.test_case "successive view changes" `Slow test_successive_view_changes;
         Alcotest.test_case "view change preserves commits" `Quick test_view_change_preserves_committed;
         Alcotest.test_case "byzantine primary safety" `Slow test_byzantine_primary_safety;
+        Alcotest.test_case "byzantine primary view change" `Slow
+          test_byzantine_primary_view_change_linearizable;
         Alcotest.test_case "byzantine client" `Quick test_byzantine_client_partial_auth;
         Alcotest.test_case "forged signature rejected" `Quick test_forged_signature_rejected;
         Alcotest.test_case "partition then heal" `Slow test_partition_blocks_then_heals;
