@@ -1,0 +1,298 @@
+(* Wall-clock benchmark baseline: measures real seconds (not virtual time)
+   across the hot paths that gate how many fuzz seeds and experiment points
+   a CI run can afford. Emits BENCH_wallclock.json.
+
+   Usage: dune exec bench/wallclock.exe -- [--smoke|--full] [--out PATH]
+            [--check BASELINE.json] [--digests]
+
+   --check fails (exit 1) if fuzz seeds/sec regressed more than 2x below
+   the baseline JSON, the CI regression gate. --digests prints the pinned
+   fuzz-seed committed-history digests used by the determinism tests. *)
+
+module Engine = Bft_sim.Engine
+module Runner = Bft_check.Runner
+module Sha256 = Bft_crypto.Sha256
+open Bft_core
+
+let wall () = Unix.gettimeofday ()
+
+type metric = { label : string; units : float; seconds : float }
+
+let rate m = m.units /. m.seconds
+
+(* ------------------------------------------------------------------ *)
+(* encode + digest throughput                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_messages () =
+  let req i =
+    {
+      Message.op = Printf.sprintf "put key%04d %s" i (String.make 64 'v');
+      timestamp = Int64.of_int (1000 + i);
+      client = 4 + (i mod 3);
+      read_only = false;
+      replier = i mod 4;
+    }
+  in
+  let batch =
+    List.init 8 (fun i -> Message.Inline (req i, Message.Auth_none))
+  in
+  [
+    Message.Request (req 0);
+    Message.Pre_prepare { pp_view = 1; pp_seq = 42; pp_batch = batch; pp_nondet = "1234" };
+    Message.Prepare { pr_view = 1; pr_seq = 42; pr_digest = String.make 32 'd'; pr_replica = 2 };
+    Message.Commit { cm_view = 1; cm_seq = 42; cm_digest = String.make 32 'd'; cm_replica = 2 };
+    Message.Reply
+      {
+        rp_view = 1;
+        rp_timestamp = 77L;
+        rp_client = 5;
+        rp_replica = 1;
+        rp_tentative = false;
+        rp_result = Message.Full (String.make 128 'r');
+      };
+  ]
+
+let bench_encode_digest ~iters =
+  let msgs = Array.of_list (sample_messages ()) in
+  let bytes = ref 0 in
+  let t0 = wall () in
+  for i = 1 to iters do
+    let m = msgs.(i mod Array.length msgs) in
+    let s = Wire.encode m in
+    let d = Sha256.digest s in
+    bytes := !bytes + String.length s + String.length d
+  done;
+  let dt = wall () -. t0 in
+  { label = "encode_digest"; units = float_of_int !bytes /. 1.0e6; seconds = dt }
+
+(* Message-lifetime pipeline throughput. In the protocol a message's wire
+   bytes are needed several times per lifetime -- sender authentication,
+   envelope sizing, and verification at each of the 3f other replicas -- and
+   its digest a couple more. Pre-PR each access re-serialized (Wire.size
+   was [String.length (encode m)] and every receiver's verify re-encoded
+   the body); the encode-once pipeline pays a single encode + digest per
+   lifetime and serves the rest from the envelope cache. [~cached:false]
+   measures the pre-PR access pattern with the same primitives, so the
+   cached/uncached ratio isolates the pipeline change (and understates it,
+   since the primitives themselves also got faster). *)
+
+let bytes_accesses_per_lifetime = 5 (* auth + size + 3 receiver verifies *)
+let digest_accesses_per_lifetime = 2 (* e.g. request digest at pre-prepare + prepare *)
+
+let bench_pipeline ~iters ~cached =
+  let msgs = Array.of_list (sample_messages ()) in
+  let bytes = ref 0 in
+  let t0 = wall () in
+  for i = 1 to iters do
+    let m = msgs.(i mod Array.length msgs) in
+    if cached then begin
+      let env = Message.envelope ~sender:0 ~auth:Message.Auth_none m in
+      for _ = 1 to bytes_accesses_per_lifetime do
+        ignore (Wire.envelope_bytes env)
+      done;
+      for _ = 1 to digest_accesses_per_lifetime do
+        ignore (Wire.envelope_digest env)
+      done;
+      bytes := !bytes + String.length (Wire.envelope_bytes env)
+    end
+    else begin
+      let last = ref "" in
+      for _ = 1 to bytes_accesses_per_lifetime do
+        last := Wire.encode m
+      done;
+      for _ = 1 to digest_accesses_per_lifetime do
+        ignore (Sha256.digest !last)
+      done;
+      bytes := !bytes + String.length !last
+    end
+  done;
+  let dt = wall () -. t0 in
+  {
+    label = (if cached then "pipeline_cached" else "pipeline_uncached");
+    units = float_of_int !bytes /. 1.0e6;
+    seconds = dt;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* simulator event throughput                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_sim_events ~events =
+  let e = Engine.create ~seed:7L () in
+  let fired = ref 0 in
+  let chains = 64 in
+  let per_chain = events / chains in
+  let rec tick remaining () =
+    incr fired;
+    (* exercise lazy cancellation: schedule a decoy and cancel half of them *)
+    let decoy = Engine.schedule e ~delay:(Engine.us 9) (fun () -> incr fired) in
+    if !fired land 1 = 0 then Engine.cancel decoy;
+    if remaining > 0 then ignore (Engine.schedule e ~delay:(Engine.us 3) (tick (remaining - 1)))
+  in
+  for c = 1 to chains do
+    ignore (Engine.schedule e ~delay:(Engine.us c) (tick per_chain))
+  done;
+  let t0 = wall () in
+  Engine.run e;
+  let dt = wall () -. t0 in
+  { label = "sim_events"; units = float_of_int !fired; seconds = dt }
+
+(* ------------------------------------------------------------------ *)
+(* fuzz seed throughput                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_fuzz ~seeds =
+  let params = Runner.default_params ~seed:1 ~f:1 in
+  let t0 = wall () in
+  let outcome = Runner.fuzz params ~seeds in
+  let dt = wall () -. t0 in
+  if outcome.Runner.failing <> [] then begin
+    List.iter
+      (fun (seed, r) ->
+        Printf.eprintf "wallclock: fuzz seed %d FAILED: %s\n%!" seed
+          (String.concat "; " r.Runner.failures))
+      outcome.Runner.failing;
+    exit 2
+  end;
+  { label = "fuzz"; units = float_of_int seeds; seconds = dt }
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end protocol requests/sec (wall) at f = 1..3                 *)
+(* ------------------------------------------------------------------ *)
+
+let bench_e2e ~f ~requests =
+  let cfg = Config.make ~f () in
+  let cluster =
+    Cluster.create ~seed:11L ~service:(fun () -> Bft_sm.Null_service.create ()) cfg
+  in
+  (* warm-up request to finish any start-of-run work *)
+  ignore (Cluster.invoke_sync cluster ~client:0 "warm");
+  let t0 = wall () in
+  for i = 1 to requests do
+    ignore (Cluster.invoke_sync cluster ~client:0 (Printf.sprintf "op%d" i))
+  done;
+  let dt = wall () -. t0 in
+  { label = Printf.sprintf "e2e_f%d" f; units = float_of_int requests; seconds = dt }
+
+(* ------------------------------------------------------------------ *)
+(* pinned-seed determinism digests                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pinned_seeds = [ 1; 2; 3; 46 ]
+
+let print_digests () =
+  List.iter
+    (fun seed ->
+      let r = Runner.run_seed (Runner.default_params ~seed ~f:1) in
+      Printf.printf "seed %d history %s\n%!" seed r.Runner.history_digest)
+    pinned_seeds
+
+(* ------------------------------------------------------------------ *)
+(* JSON output and the regression gate                                 *)
+(* ------------------------------------------------------------------ *)
+
+let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e path =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"fuzz\": { \"seeds\": %.0f, \"seconds\": %.3f, \"seeds_per_sec\": %.3f },\n"
+       fuzz.units fuzz.seconds (rate fuzz));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sim\": { \"events\": %.0f, \"seconds\": %.3f, \"events_per_sec\": %.0f },\n"
+       sim.units sim.seconds (rate sim));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"encode_digest\": { \"megabytes\": %.2f, \"seconds\": %.3f, \"mb_per_sec\": \
+        %.2f },\n"
+       enc.units enc.seconds (rate enc));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"pipeline\": { \"megabytes\": %.2f, \"cached_mb_per_sec\": %.2f, \
+        \"uncached_mb_per_sec\": %.2f, \"speedup\": %.2f },\n"
+       pipe_cached.units (rate pipe_cached) (rate pipe_uncached)
+       (rate pipe_cached /. rate pipe_uncached));
+  Buffer.add_string b "  \"e2e\": [\n";
+  List.iteri
+    (fun i (f, m) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"f\": %d, \"requests\": %.0f, \"seconds\": %.3f, \
+            \"requests_per_sec\": %.2f }%s\n"
+           f m.units m.seconds (rate m)
+           (if i = List.length e2e - 1 then "" else ",")))
+    e2e;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  print_string (Buffer.contents b)
+
+(* minimal scan for "seeds_per_sec": <float> in a baseline JSON *)
+let baseline_seeds_per_sec path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let key = "\"seeds_per_sec\":" in
+  let rec find i =
+    if i + String.length key > String.length s then None
+    else if String.sub s i (String.length key) = key then Some (i + String.length key)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> failwith (Printf.sprintf "no seeds_per_sec in %s" path)
+  | Some i ->
+      let j = ref i in
+      while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\t') do incr j done;
+      let k = ref !j in
+      while
+        !k < String.length s
+        && (match s.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string (String.sub s !j (!k - !j))
+
+let () =
+  let mode = ref "smoke" in
+  let out = ref "BENCH_wallclock.json" in
+  let check = ref "" in
+  let digests = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> mode := "smoke"; parse rest
+    | "--full" :: rest -> mode := "full"; parse rest
+    | "--digests" :: rest -> digests := true; parse rest
+    | "--out" :: p :: rest -> out := p; parse rest
+    | "--check" :: p :: rest -> check := p; parse rest
+    | a :: _ -> Printf.eprintf "wallclock: unknown argument %s\n" a; exit 64
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !digests then print_digests ()
+  else begin
+    let smoke = !mode = "smoke" in
+    let fuzz = bench_fuzz ~seeds:(if smoke then 8 else 40) in
+    let sim = bench_sim_events ~events:(if smoke then 200_000 else 1_000_000) in
+    let enc = bench_encode_digest ~iters:(if smoke then 200_000 else 1_000_000) in
+    let pipe_iters = if smoke then 50_000 else 250_000 in
+    let pipe_cached = bench_pipeline ~iters:pipe_iters ~cached:true in
+    let pipe_uncached = bench_pipeline ~iters:pipe_iters ~cached:false in
+    let reqs = if smoke then 30 else 150 in
+    let e2e = List.map (fun f -> (f, bench_e2e ~f ~requests:reqs)) [ 1; 2; 3 ] in
+    emit_json ~mode:!mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e !out;
+    if !check <> "" then begin
+      let base = baseline_seeds_per_sec !check in
+      let cur = rate fuzz in
+      Printf.printf "regression gate: current %.3f seeds/sec vs baseline %.3f (floor %.3f)\n"
+        cur base (base /. 2.0);
+      if cur < base /. 2.0 then begin
+        Printf.eprintf
+          "wallclock: FAIL — fuzz seeds/sec regressed more than 2x below baseline\n";
+        exit 1
+      end
+    end
+  end

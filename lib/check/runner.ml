@@ -38,6 +38,7 @@ type run_result = {
   total_ops : int;
   view_changes : int;
   max_view : int;
+  history_digest : string;
 }
 
 let failed r = r.failures <> []
@@ -215,6 +216,7 @@ let run_schedule params sched =
     total_ops;
     view_changes;
     max_view;
+    history_digest = Cluster.committed_history_digest cluster;
   }
 
 let run_seed params = run_schedule params (generate params)

@@ -32,6 +32,11 @@ type run_result = {
   total_ops : int;
   view_changes : int;  (** view changes started by correct replicas *)
   max_view : int;  (** highest view reached by any correct replica *)
+  history_digest : string;
+      (** [Cluster.committed_history_digest] of the final cluster state:
+          a determinism fingerprint — identical [(params, schedule)] must
+          yield identical digests, across processes and code refactors
+          that preserve protocol semantics. *)
 }
 
 val failed : run_result -> bool

@@ -25,23 +25,25 @@ type t = {
 let engine t = t.engine
 let client_completed t k = t.clients.(k).c_completed
 
-let mac t ~src ~dst body =
+(* encode-once, as in the replicated stack: the MAC is computed over the
+   envelope's cached bytes and the receiver verifies the same string *)
+let mac t ~src ~dst bytes =
   let chain = Hashtbl.find t.chains src in
   Network.charge t.net ~id:src t.costs.Costs.mac_us;
-  match Bft_crypto.Auth.compute_mac chain ~peer:dst (Wire.encode body) with
+  match Bft_crypto.Auth.compute_mac chain ~peer:dst bytes with
   | Some m -> Auth_mac m
   | None -> Auth_none
 
-let verify t ~me ~peer body auth =
+let verify t ~me ~peer (env : envelope) =
   let chain = Hashtbl.find t.chains me in
   Network.charge t.net ~id:me t.costs.Costs.mac_us;
-  match auth with
-  | Auth_mac m -> Bft_crypto.Auth.verify_mac chain ~peer m (Wire.encode body)
+  match env.auth with
+  | Auth_mac m -> Bft_crypto.Auth.verify_mac chain ~peer m (Wire.envelope_bytes env)
   | Auth_none | Auth_vector _ | Auth_sig _ -> false
 
 let server_handle t (env : envelope) =
   match env.body with
-  | Request r when verify t ~me:server_id ~peer:r.client env.body env.auth ->
+  | Request r when verify t ~me:server_id ~peer:r.client env ->
       Network.charge t.net ~id:server_id
         (Costs.digest_us t.costs (Wire.size env.body)
         +. t.service.Bft_sm.Service.exec_cost_us r.op);
@@ -60,8 +62,9 @@ let server_handle t (env : envelope) =
             rp_result = Full result;
           }
       in
-      let auth = mac t ~src:server_id ~dst:r.client reply in
-      let env' = { sender = server_id; body = reply; auth } in
+      let enc = Message.no_cache () in
+      let auth = mac t ~src:server_id ~dst:r.client (Wire.cached_encode enc reply) in
+      let env' = { sender = server_id; body = reply; auth; enc } in
       Network.send t.net ~src:server_id ~dst:r.client ~size:(Wire.envelope_size env') env'
   | _ -> ()
 
@@ -70,7 +73,7 @@ let client_handle t (c : client) (env : envelope) =
   | Reply rp
     when rp.rp_client = c.c_id
          && Int64.equal rp.rp_timestamp c.c_timestamp
-         && verify t ~me:c.c_id ~peer:server_id env.body env.auth -> (
+         && verify t ~me:c.c_id ~peer:server_id env -> (
       match (c.c_pending, rp.rp_result) with
       | Some k, Full result ->
           c.c_pending <- None;
@@ -118,8 +121,9 @@ let invoke t ~client:k op callback =
       { op; timestamp = c.c_timestamp; client = c.c_id; read_only = false; replier = 0 }
   in
   Network.charge t.net ~id:c.c_id (Costs.digest_us t.costs (Wire.size req));
-  let auth = mac t ~src:c.c_id ~dst:server_id req in
-  let env = { sender = c.c_id; body = req; auth } in
+  let enc = Message.no_cache () in
+  let auth = mac t ~src:c.c_id ~dst:server_id (Wire.cached_encode enc req) in
+  let env = { sender = c.c_id; body = req; auth; enc } in
   Network.send t.net ~src:c.c_id ~dst:server_id ~size:(Wire.envelope_size env) env
 
 let run_until ?(timeout_us = 10_000_000.0) t cond =

@@ -51,17 +51,18 @@ let charge t us = Network.charge t.d.net ~id:t.id us
 let replica_ids t = Config.replica_ids t.d.cfg
 let primary t = Config.primary t.d.cfg ~view:t.view_guess
 
-let request_token t req =
-  let body = Request req in
+(* encode once: the request bytes under the token are the same string the
+   envelope carries and every replica verifies *)
+let request_token t enc req =
+  let bytes = Wire.cached_encode enc (Request req) in
   match t.d.cfg.Config.auth_mode with
   | Config.Sig_auth ->
       charge t t.costs.Costs.sig_gen_us;
-      Auth_sig (Bft_crypto.Signature.sign t.d.signer (Wire.encode body))
+      Auth_sig (Bft_crypto.Signature.sign t.d.signer bytes)
   | Config.Mac_auth ->
       charge t (Costs.auth_gen_us t.costs t.d.cfg.Config.n);
       let auth =
-        Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:(replica_ids t)
-          (Wire.encode body)
+        Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:(replica_ids t) bytes
       in
       let auth =
         if t.byz_partial then
@@ -74,8 +75,9 @@ let request_token t req =
       Auth_vector auth
 
 let send_request t req ~to_all =
-  let token = request_token t req in
-  let env = { sender = t.id; body = Request req; auth = token } in
+  let enc = Message.no_cache () in
+  let token = request_token t enc req in
+  let env = { sender = t.id; body = Request req; auth = token; enc } in
   let size = Wire.envelope_size env in
   if to_all then Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t) ~size env
   else Network.send t.d.net ~src:t.id ~dst:(primary t) ~size env
@@ -154,7 +156,7 @@ let handle t (env : envelope) =
       | Auth_sig s
         when s.Bft_crypto.Signature.signer_id = nk.nk_replica
              && (charge t t.costs.Costs.sig_verify_us;
-                 Bft_crypto.Signature.verify t.d.registry s (Wire.encode env.body)) -> (
+                 Bft_crypto.Signature.verify t.d.registry s (Wire.envelope_bytes env)) -> (
           match List.assoc_opt t.id nk.nk_keys with
           | Some key ->
               ignore (Bft_crypto.Keychain.install_out_key t.d.keychain ~peer:nk.nk_replica key)
@@ -168,11 +170,11 @@ let handle t (env : envelope) =
             | _, Auth_sig s ->
                 charge t t.costs.Costs.sig_verify_us;
                 s.Bft_crypto.Signature.signer_id = rp.rp_replica
-                && Bft_crypto.Signature.verify t.d.registry s (Wire.encode env.body)
+                && Bft_crypto.Signature.verify t.d.registry s (Wire.envelope_bytes env)
             | _, Auth_mac m ->
                 charge t t.costs.Costs.mac_us;
                 Bft_crypto.Auth.verify_mac t.d.keychain ~peer:rp.rp_replica m
-                  (Wire.encode env.body)
+                  (Wire.envelope_bytes env)
             | _, (Auth_none | Auth_vector _) -> false
           in
           if verified then begin

@@ -136,6 +136,28 @@ let committed_histories_consistent t =
     histories;
   !ok
 
+(* Canonical fingerprint of the committed histories of every correct
+   replica: the surviving execution record per sequence number within each
+   committed prefix, in replica then sequence order. Pinned fuzz seeds must
+   reproduce this digest across changes that do not touch protocol
+   semantics (the encode-once / heap-engine work is validated this way). *)
+let committed_history_digest t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun i ->
+      let tbl = committed_content t.replicas.(i) in
+      let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) tbl [] |> List.sort compare in
+      Buffer.add_string buf (Printf.sprintf "replica %d\n" i);
+      List.iter
+        (fun seq ->
+          List.iter
+            (fun (client, op, res) ->
+              Buffer.add_string buf (Printf.sprintf "%d|%d|%S|%S\n" seq client op res))
+            (Hashtbl.find tbl seq))
+        seqs)
+    (List.sort compare !(t.correct));
+  Bft_crypto.Sha256.hexdigest (Buffer.contents buf)
+
 let check_linearizable ?(replica = 0) t ~service =
   let by_seq = committed_content t.replicas.(replica) in
   let svc = service () in

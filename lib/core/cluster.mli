@@ -49,6 +49,12 @@ val committed_histories_consistent : t -> bool
     property (no two correct replicas commit different requests with the
     same sequence number). *)
 
+val committed_history_digest : t -> string
+(** Hex SHA-256 fingerprint of the committed histories of every correct
+    replica (surviving execution record per sequence number, in replica
+    then sequence order). Pinned-seed runs must reproduce this digest
+    byte-for-byte across refactors that do not change protocol semantics. *)
+
 val correct_replicas : t -> int list ref
 (** Mutable list of replica ids considered correct by checks; faults
     injected by tests should remove the faulty ids. Defaults to all. *)

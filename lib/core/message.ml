@@ -200,7 +200,24 @@ let tag = function
   | Batch_data _ -> "batch-data"
   | Fetch_request _ -> "fetch-request"
 
+(** Lazily filled encoding cache: the canonical wire bytes of a message
+    body and their digest, computed at most once per envelope lifetime.
+    Plain mutable options (not a [Wire] abstraction) so that [Message]
+    stays free of codec dependencies; [Wire] owns the fill logic. *)
+type enc_cache = {
+  mutable enc_bytes : string option;
+  mutable enc_digest : digest option;
+}
+
+let no_cache () = { enc_bytes = None; enc_digest = None }
+
 (** What actually travels on the simulated network. For [Request] and
     [Request_data] the token belongs to the request's client (requests may
-    be relayed by backups with the client token intact). *)
-type envelope = { sender : int; body : t; auth : auth_token }
+    be relayed by backups with the client token intact). [enc] memoizes the
+    body's wire encoding: the sender fills it when authenticating, and —
+    because the same physical envelope is what the simulated network
+    delivers — every receiver's verification reuses the same bytes, so a
+    message is serialized exactly once per lifetime. *)
+type envelope = { sender : int; body : t; auth : auth_token; enc : enc_cache }
+
+let envelope ~sender ~auth body = { sender; body; auth; enc = no_cache () }

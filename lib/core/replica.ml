@@ -155,44 +155,53 @@ let now t = Engine.now t.engine
 (* Authentication                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let sign_body t body =
-  charge t t.costs.Costs.sig_gen_us;
-  Auth_sig (Bft_crypto.Signature.sign t.d.signer (Wire.encode body))
+(* Authentication operates on the body's wire bytes. Each helper takes the
+   envelope's encoding cache so the serialization happens exactly once:
+   the auth token, [envelope_size], and every receiver's verification all
+   reuse the same string. *)
 
-let mac_body t ~dst body =
+let sign_bytes t bytes =
+  charge t t.costs.Costs.sig_gen_us;
+  Auth_sig (Bft_crypto.Signature.sign t.d.signer bytes)
+
+let mac_bytes t ~dst bytes =
   charge t t.costs.Costs.mac_us;
-  match Bft_crypto.Auth.compute_mac t.d.keychain ~peer:dst (Wire.encode body) with
+  match Bft_crypto.Auth.compute_mac t.d.keychain ~peer:dst bytes with
   | Some m -> Auth_mac m
   | None -> Auth_none
 
-let vector_body t ~dsts body =
+let vector_bytes t ~dsts bytes =
   charge t (Costs.auth_gen_us t.costs (List.length dsts));
-  Auth_vector
-    (Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:dsts (Wire.encode body))
+  Auth_vector (Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:dsts bytes)
 
 (* Multicast to all replicas (including self: the paper's replicas process
-   their own protocol messages through the log). *)
+   their own protocol messages through the log). The body is encoded once;
+   the single precomputed [envelope_size] covers every destination. *)
 let broadcast t body =
   if not t.muted then begin
+    let enc = Message.no_cache () in
+    let bytes = Wire.cached_encode enc body in
     let auth =
       match (t.d.cfg.Config.auth_mode, body) with
-      | _, New_key _ -> sign_body t body
-      | Config.Sig_auth, _ -> sign_body t body
-      | Config.Mac_auth, _ -> vector_body t ~dsts:(replica_ids t) body
+      | _, New_key _ -> sign_bytes t bytes
+      | Config.Sig_auth, _ -> sign_bytes t bytes
+      | Config.Mac_auth, _ -> vector_bytes t ~dsts:(replica_ids t) bytes
     in
-    let env = { sender = t.id; body; auth } in
+    let env = { sender = t.id; body; auth; enc } in
     Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
       ~size:(Wire.envelope_size env) env
   end
 
 let send_to t ~dst body =
   if not t.muted then begin
+    let enc = Message.no_cache () in
+    let bytes = Wire.cached_encode enc body in
     let auth =
       match t.d.cfg.Config.auth_mode with
-      | Config.Sig_auth -> sign_body t body
-      | Config.Mac_auth -> mac_body t ~dst body
+      | Config.Sig_auth -> sign_bytes t bytes
+      | Config.Mac_auth -> mac_bytes t ~dst bytes
     in
-    let env = { sender = t.id; body; auth } in
+    let env = { sender = t.id; body; auth; enc } in
     Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
   end
 
@@ -200,23 +209,26 @@ let send_to t ~dst body =
    Section 5.3.2). *)
 let send_plain t ~dst body =
   if not t.muted then begin
-    let env = { sender = t.id; body; auth = Auth_none } in
+    let env = Message.envelope ~sender:t.id ~auth:Auth_none body in
     Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
   end
 
-let verify_token t ~claimed body token =
+let verify_token_bytes t ~claimed bytes token =
   match token with
   | Auth_none -> false
   | Auth_sig s ->
       charge t t.costs.Costs.sig_verify_us;
       s.Bft_crypto.Signature.signer_id = claimed
-      && Bft_crypto.Signature.verify t.d.registry s (Wire.encode body)
+      && Bft_crypto.Signature.verify t.d.registry s bytes
   | Auth_mac m ->
       charge t t.costs.Costs.mac_us;
-      Bft_crypto.Auth.verify_mac t.d.keychain ~peer:claimed m (Wire.encode body)
+      Bft_crypto.Auth.verify_mac t.d.keychain ~peer:claimed m bytes
   | Auth_vector a ->
       charge t t.costs.Costs.mac_us;
-      Bft_crypto.Auth.verify_authenticator t.d.keychain ~peer:claimed a (Wire.encode body)
+      Bft_crypto.Auth.verify_authenticator t.d.keychain ~peer:claimed a bytes
+
+let verify_token t ~claimed body token =
+  verify_token_bytes t ~claimed (Wire.encode body) token
 
 (* ------------------------------------------------------------------ *)
 (* State snapshots: service state + reply cache (the paper's checkpoints
@@ -747,7 +759,7 @@ let handle_request t (req : request) token ~verified ~relayed =
       if not relayed then
         (* relay to the primary with the client's token intact *)
         if not t.muted then begin
-          let env = { sender = t.id; body = Request req; auth = token } in
+          let env = Message.envelope ~sender:t.id ~auth:token (Request req) in
           Network.send t.d.net ~src:t.id ~dst:(primary t)
             ~size:(Wire.envelope_size env) env
         end
@@ -1764,8 +1776,9 @@ let send_new_key ?(drop_clients = false) t =
           New_key { nk_replica = t.id; nk_keys = [ (client, key) ]; nk_counter = t.coproc_counter }
         in
         if not t.muted then begin
-          let auth = sign_body t body in
-          let env = { sender = t.id; body; auth } in
+          let enc = Message.no_cache () in
+          let auth = sign_bytes t (Wire.cached_encode enc body) in
+          let env = { sender = t.id; body; auth; enc } in
           Network.send t.d.net ~src:t.id ~dst:client ~size:(Wire.envelope_size env) env
         end)
       clients
@@ -1825,12 +1838,16 @@ let try_finish_estimation t =
               replier = t.id;
             }
           in
-          let token = Auth_sig (Bft_crypto.Signature.sign t.d.signer (Wire.encode (Request req))) in
+          let enc = Message.no_cache () in
+          let token =
+            Auth_sig
+              (Bft_crypto.Signature.sign t.d.signer (Wire.cached_encode enc (Request req)))
+          in
           charge t t.costs.Costs.sig_gen_us;
           ignore (store_request t req token true);
           rc.rc_request <- Some req;
           if not t.muted then begin
-            let env = { sender = t.id; body = Request req; auth = token } in
+            let env = { sender = t.id; body = Request req; auth = token; enc } in
             Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
               ~size:(Wire.envelope_size env) env
           end
@@ -1851,7 +1868,7 @@ let rec recovery_tick t =
           | Some req -> (
               match Hashtbl.find_opt t.requests (Wire.request_digest req) with
               | Some sr when not t.muted ->
-                  let env = { sender = t.id; body = Request req; auth = sr.sr_token } in
+                  let env = Message.envelope ~sender:t.id ~auth:sr.sr_token (Request req) in
                   Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
                     ~size:(Wire.envelope_size env) env
               | _ -> ())
@@ -1982,7 +1999,7 @@ let handle_fetch_request t (f : fetch_request) =
     match Hashtbl.find_opt t.requests f.fr_digest with
     | Some sr ->
         if not t.muted then begin
-          let env = { sender = t.id; body = Request sr.sr_req; auth = sr.sr_token } in
+          let env = Message.envelope ~sender:t.id ~auth:sr.sr_token (Request sr.sr_req) in
           Network.send t.d.net ~src:t.id ~dst:f.fr_replica ~size:(Wire.envelope_size env) env
         end
     | None -> ()
@@ -2008,18 +2025,21 @@ let handle_checkpoint_msg t (c : checkpoint) =
 (* Dispatcher                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Verification reuses the envelope's cached bytes: the sender filled the
+   cache when authenticating, and the simulator delivers the same physical
+   envelope, so no receiver ever re-serializes the body. *)
 let verify_envelope t (env : envelope) =
   match env.body with
-  | Request r -> verify_token t ~claimed:r.client env.body env.auth
+  | Request r -> verify_token_bytes t ~claimed:r.client (Wire.envelope_bytes env) env.auth
   | Data _ -> true (* verified against digests, Section 5.3.2 *)
   | New_key nk -> (
       match env.auth with
       | Auth_sig s ->
           charge t t.costs.Costs.sig_verify_us;
           s.Bft_crypto.Signature.signer_id = nk.nk_replica
-          && Bft_crypto.Signature.verify t.d.registry s (Wire.encode env.body)
+          && Bft_crypto.Signature.verify t.d.registry s (Wire.envelope_bytes env)
       | _ -> false)
-  | _ -> verify_token t ~claimed:env.sender env.body env.auth
+  | _ -> verify_token_bytes t ~claimed:env.sender (Wire.envelope_bytes env) env.auth
 
 let handle t (env : envelope) =
   let verified = verify_envelope t env in

@@ -1,10 +1,6 @@
 open Message
 
-let add_int64 b (v : int64) =
-  for i = 0 to 7 do
-    Buffer.add_char b (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
-  done
-
+let add_int64 b (v : int64) = Buffer.add_int64_le b v
 let add_int b v = add_int64 b (Int64.of_int v)
 
 let add_string b s =
@@ -24,11 +20,46 @@ let encode_request b r =
   add_int b r.replier;
   add_string b r.op
 
+(* ------------------------------------------------------------------ *)
+(* Digest memoization                                                  *)
+(*                                                                     *)
+(* Request, batch and view-change digests are pure functions of message *)
+(* structure, recomputed at many call sites (a request is digested on   *)
+(* receipt, at batching, at execution, in replies...). Bounded          *)
+(* structural Hashtbls make each digest a one-time cost per distinct    *)
+(* value; memoizing a pure function cannot perturb determinism. Tables  *)
+(* are reset wholesale at a size cap rather than evicted — simulator    *)
+(* working sets are small and the reset path is effectively cold.       *)
+(* ------------------------------------------------------------------ *)
+
+let memo_cap = 8192
+
+let memoize tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+      let v = compute key in
+      Hashtbl.add tbl key v;
+      v
+
+let request_memo : (request, digest) Hashtbl.t = Hashtbl.create 256
+let batch_memo : (batch_elem list * string, digest) Hashtbl.t = Hashtbl.create 256
+let vc_memo : (view_change, digest) Hashtbl.t = Hashtbl.create 64
+let size_memo : (Message.t, int) Hashtbl.t = Hashtbl.create 256
+
+let clear_memos () =
+  Hashtbl.reset request_memo;
+  Hashtbl.reset batch_memo;
+  Hashtbl.reset vc_memo;
+  Hashtbl.reset size_memo
+
 let request_digest r =
-  let b = Buffer.create 64 in
-  Buffer.add_char b 'R';
-  encode_request b r;
-  Bft_crypto.Sha256.digest (Buffer.contents b)
+  memoize request_memo r (fun r ->
+      let b = Buffer.create 64 in
+      Buffer.add_char b 'R';
+      encode_request b r;
+      Bft_crypto.Sha256.digest (Buffer.contents b))
 
 let encode_batch_elem b = function
   | Inline (r, _tok) ->
@@ -38,17 +69,22 @@ let encode_batch_elem b = function
       Buffer.add_char b 'D';
       add_string b d
 
+(* the memo key includes inline auth tokens (they are part of the
+   structure) even though the digest ignores them: token variants of the
+   same batch land in separate entries with identical values, which is
+   harmless *)
 let batch_digest batch nondet =
-  let b = Buffer.create 128 in
-  Buffer.add_char b 'B';
-  add_int b (List.length batch);
-  List.iter
-    (fun elem ->
-      let d = match elem with Inline (r, _) -> request_digest r | By_digest d -> d in
-      Buffer.add_string b d)
-    batch;
-  add_string b nondet;
-  Bft_crypto.Sha256.digest (Buffer.contents b)
+  memoize batch_memo (batch, nondet) (fun (batch, nondet) ->
+      let b = Buffer.create 128 in
+      Buffer.add_char b 'B';
+      add_int b (List.length batch);
+      List.iter
+        (fun elem ->
+          let d = match elem with Inline (r, _) -> request_digest r | By_digest d -> d in
+          Buffer.add_string b d)
+        batch;
+      add_string b nondet;
+      Bft_crypto.Sha256.digest (Buffer.contents b))
 
 let null_batch_digest = Bft_crypto.Sha256.digest "NULL-BATCH"
 
@@ -215,7 +251,10 @@ let encode m =
   encode_body b m;
   Buffer.contents b
 
-let size m = String.length (encode m)
+(* memoized: the size model charges per encoded byte at several hot call
+   sites (request receipt, pre-prepare accept, state transfer), and the
+   charged size of a given message never changes *)
+let size m = memoize size_memo m (fun m -> String.length (encode m))
 
 let auth_size = function
   | Auth_none -> 0
@@ -223,9 +262,36 @@ let auth_size = function
   | Auth_vector a -> Bft_crypto.Auth.size a
   | Auth_sig _ -> 128 (* 1024-bit signature *)
 
-let envelope_size e = 8 (* header *) + size e.body + auth_size e.auth
+(* ------------------------------------------------------------------ *)
+(* Encode-once envelopes                                               *)
+(* ------------------------------------------------------------------ *)
 
-let view_change_digest v = Bft_crypto.Sha256.digest (encode (View_change v))
+(* Fill (or reuse) a cache with the body's canonical encoding. The sender
+   calls this before authenticating; [envelope_size] and every receiver's
+   verification then reuse the same physical string. *)
+let cached_encode (cache : enc_cache) body =
+  match cache.enc_bytes with
+  | Some s -> s
+  | None ->
+      let s = encode body in
+      cache.enc_bytes <- Some s;
+      s
+
+let envelope_bytes (e : envelope) = cached_encode e.enc e.body
+
+let envelope_digest (e : envelope) =
+  match e.enc.enc_digest with
+  | Some d -> d
+  | None ->
+      let d = Bft_crypto.Sha256.digest (envelope_bytes e) in
+      e.enc.enc_digest <- Some d;
+      d
+
+let envelope_size e =
+  8 (* header *) + String.length (envelope_bytes e) + auth_size e.auth
+
+let view_change_digest v =
+  memoize vc_memo v (fun v -> Bft_crypto.Sha256.digest (encode (View_change v)))
 let checkpoint_value_digest s = Bft_crypto.Sha256.digest ("CKPT" ^ s)
 let result_digest s = Bft_crypto.Sha256.digest ("RES" ^ s)
 
@@ -248,12 +314,9 @@ let get_byte c =
 
 let get_int64 c =
   need c 8;
-  let v = ref 0L in
-  for i = 7 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.buf.[c.pos + i]))
-  done;
+  let v = String.get_int64_le c.buf c.pos in
   c.pos <- c.pos + 8;
-  !v
+  v
 
 let get_int c =
   let v = get_int64 c in

@@ -21,11 +21,37 @@ val decode : string -> (Message.t, string) result
     human-readable [Error]. *)
 
 val size : Message.t -> int
-(** [size m = String.length (encode m)], computed without allocation of the
-    intermediate string where it matters. *)
+(** [size m = String.length (encode m)], memoized per distinct message so
+    the per-byte cost model does not pay a fresh serialization on every
+    charge. *)
 
 val auth_size : Message.auth_token -> int
+
+(** {2 Encode-once envelopes}
+
+    An envelope carries a {!Message.enc_cache}; these helpers fill it at
+    most once. The sender encodes the body to authenticate it, and since
+    the simulated network delivers the same physical envelope, receivers
+    verify against the identical string — one serialization per message
+    lifetime, shared by sign/MAC, [envelope_size], transmission and
+    verification. *)
+
+val cached_encode : Message.enc_cache -> Message.t -> string
+(** Canonical encoding of the body, memoized in the cache. *)
+
+val envelope_bytes : Message.envelope -> string
+(** [cached_encode e.enc e.body]. *)
+
+val envelope_digest : Message.envelope -> Message.digest
+(** Digest of {!envelope_bytes}, also memoized. *)
+
 val envelope_size : Message.envelope -> int
+(** Header + cached body bytes + authentication token size; O(1) after the
+    first call on a given envelope. *)
+
+val clear_memos : unit -> unit
+(** Drop every digest/size memo table (tests use this to compare cached
+    against freshly computed values; never needed for correctness). *)
 
 val request_digest : Message.request -> Message.digest
 (** Digest identifying a request: covers client, timestamp, operation and

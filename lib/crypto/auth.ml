@@ -4,16 +4,16 @@ type mac = { tag : string; epoch : int }
 type authenticator = (int * mac) list
 
 let compute_mac keychain ~peer msg =
-  match Keychain.out_key keychain ~peer with
+  match Keychain.out_key_pre keychain ~peer with
   | None -> None
-  | Some key ->
-      Some { tag = Hmac.mac_truncated ~key:key.secret tag_size msg; epoch = key.epoch }
+  | Some (key, pre) ->
+      Some { tag = Hmac.mac_truncated_precomputed pre tag_size msg; epoch = key.epoch }
 
 let verify_mac keychain ~peer mac msg =
-  match Keychain.in_key keychain ~peer with
+  match Keychain.in_key_pre keychain ~peer with
   | None -> false
-  | Some key ->
-      key.epoch = mac.epoch && Hmac.verify ~key:key.secret ~tag:mac.tag msg
+  | Some (key, pre) ->
+      key.epoch = mac.epoch && Hmac.verify_precomputed pre ~tag:mac.tag msg
 
 let compute_authenticator keychain ~receivers msg =
   List.filter_map

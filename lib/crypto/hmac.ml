@@ -8,16 +8,30 @@ let normalize_key key =
 let xor_pad key byte =
   String.map (fun c -> Char.chr (Char.code c lxor byte)) key
 
-let mac ~key msg =
+(* Key-block precomputation: the SHA-256 midstates after absorbing the ipad
+   and opad blocks. A MAC over a short message then costs ~2 compressions
+   instead of 4 — the pad blocks are paid once per key, not per message —
+   and each of those runs on the allocation-free midstate path instead of
+   copying a streaming context. *)
+type precomputed = { p_inner : Sha256.midstate; p_outer : Sha256.midstate }
+
+let precompute ~key =
   let key = normalize_key key in
   let inner = Sha256.init () in
   Sha256.feed inner (xor_pad key 0x36);
-  Sha256.feed inner msg;
-  let inner_digest = Sha256.finalize inner in
   let outer = Sha256.init () in
   Sha256.feed outer (xor_pad key 0x5c);
-  Sha256.feed outer inner_digest;
-  Sha256.finalize outer
+  { p_inner = Sha256.midstate inner; p_outer = Sha256.midstate outer }
+
+let mac_precomputed pre msg =
+  let inner_digest = Sha256.digest_from_midstate pre.p_inner msg in
+  Sha256.digest_from_midstate pre.p_outer inner_digest
+
+let mac_truncated_precomputed pre n msg =
+  let t = mac_precomputed pre msg in
+  if n >= String.length t then t else String.sub t 0 n
+
+let mac ~key msg = mac_precomputed (precompute ~key) msg
 
 let mac_truncated ~key n msg =
   let t = mac ~key msg in
@@ -34,3 +48,6 @@ let constant_time_eq a b =
 let verify ~key ~tag msg =
   let n = String.length tag in
   constant_time_eq tag (mac_truncated ~key n msg)
+
+let verify_precomputed pre ~tag msg =
+  constant_time_eq tag (mac_truncated_precomputed pre (String.length tag) msg)

@@ -10,3 +10,17 @@ val mac_truncated : key:string -> int -> string -> string
 val verify : key:string -> tag:string -> string -> bool
 (** Constant-time comparison of [tag] against the recomputed (possibly
     truncated) tag of the message. *)
+
+(** {2 Key-block precomputation}
+
+    HMAC absorbs two fixed 64-byte key pads per MAC. [precompute] hashes
+    them once and snapshots the SHA-256 midstates; MACs over short messages
+    then cost roughly half the compressions. Tags are bit-identical to the
+    one-shot functions above. *)
+
+type precomputed
+
+val precompute : key:string -> precomputed
+val mac_precomputed : precomputed -> string -> string
+val mac_truncated_precomputed : precomputed -> int -> string -> string
+val verify_precomputed : precomputed -> tag:string -> string -> bool

@@ -7,6 +7,12 @@ type t = {
   (* highest epoch ever issued per peer; survives drop_all_in_keys so that
      post-recovery refreshed keys supersede the dropped ones *)
   issued_epochs : (int, int) Hashtbl.t;
+  (* HMAC key-block midstates, cached per peer and validated against the
+     installed key's epoch. Keys themselves stay plain records (they are
+     wire-serialized inside new-key messages); the midstates live only
+     here, beside the keychain that uses them. *)
+  in_pre : (int, int * Hmac.precomputed) Hashtbl.t;
+  out_pre : (int, int * Hmac.precomputed) Hashtbl.t;
 }
 
 let create ~my_id =
@@ -15,6 +21,8 @@ let create ~my_id =
     in_keys = Hashtbl.create 16;
     out_keys = Hashtbl.create 16;
     issued_epochs = Hashtbl.create 16;
+    in_pre = Hashtbl.create 16;
+    out_pre = Hashtbl.create 16;
   }
 let my_id t = t.my_id
 
@@ -40,10 +48,29 @@ let install_out_key t ~peer key =
 let out_key t ~peer = Hashtbl.find_opt t.out_keys peer
 let in_key t ~peer = Hashtbl.find_opt t.in_keys peer
 
+let precomputed cache keys ~peer =
+  match Hashtbl.find_opt keys peer with
+  | None -> None
+  | Some key ->
+      let pre =
+        match Hashtbl.find_opt cache peer with
+        | Some (epoch, pre) when epoch = key.epoch -> pre
+        | _ ->
+            let pre = Hmac.precompute ~key:key.secret in
+            Hashtbl.replace cache peer (key.epoch, pre);
+            pre
+      in
+      Some (key, pre)
+
+let out_key_pre t ~peer = precomputed t.out_pre t.out_keys ~peer
+let in_key_pre t ~peer = precomputed t.in_pre t.in_keys ~peer
+
 let in_epoch t ~peer =
   match Hashtbl.find_opt t.in_keys peer with Some k -> k.epoch | None -> 0
 
-let drop_all_in_keys t = Hashtbl.reset t.in_keys
+let drop_all_in_keys t =
+  Hashtbl.reset t.in_keys;
+  Hashtbl.reset t.in_pre
 
 let peers_with_out_keys t =
   Hashtbl.fold (fun peer _ acc -> peer :: acc) t.out_keys []

@@ -33,6 +33,14 @@ val out_key : t -> peer:int -> key option
 val in_key : t -> peer:int -> key option
 (** Current key [peer] should be using to send to us. *)
 
+val out_key_pre : t -> peer:int -> (key * Hmac.precomputed) option
+(** Like {!out_key}, paired with the cached HMAC key-block midstates for
+    that key. The cache is invalidated automatically when a key with a
+    newer epoch is installed. *)
+
+val in_key_pre : t -> peer:int -> (key * Hmac.precomputed) option
+(** Like {!in_key}, with cached midstates (see {!out_key_pre}). *)
+
 val in_epoch : t -> peer:int -> int
 (** Epoch of the current in-key for [peer]; 0 when none. *)
 

@@ -14,10 +14,32 @@ val init : unit -> ctx
 val feed : ctx -> string -> unit
 val feed_sub : ctx -> string -> int -> int -> unit
 
+val feed_bytes : ctx -> Bytes.t -> int -> int -> unit
+(** Zero-copy feed from a byte buffer: no intermediate string is
+    allocated. The bytes are only read during the call. *)
+
+val copy : ctx -> ctx
+(** Independent snapshot of a running context. Feeding or finalizing the
+    copy never affects the original — this is the midstate primitive
+    behind HMAC key-block precomputation. *)
+
 val finalize : ctx -> string
 (** Returns the 32-byte digest. The context must not be reused. *)
 
 val digest : string -> string
 (** One-shot digest of a full string. *)
+
+type midstate
+(** Immutable snapshot of the hash state at a block boundary. *)
+
+val midstate : ctx -> midstate
+(** Capture the state of [ctx]. Raises [Invalid_argument] unless the bytes
+    fed so far are a multiple of the 64-byte block size (always true after
+    absorbing an HMAC key block). *)
+
+val digest_from_midstate : midstate -> string -> string
+(** [digest_from_midstate m s] equals what [finalize] would return after
+    feeding [s] to the context [m] was captured from — but runs on the
+    allocation-free one-shot path. The midstate is not consumed. *)
 
 val hexdigest : string -> string

@@ -1,62 +1,144 @@
 type time = int64
 
-module Key = struct
-  type t = time * int (* fire time, scheduling sequence (tie break) *)
+(* The event queue is an array-backed binary min-heap ordered by
+   (fire time, scheduling sequence): the sequence number breaks ties so
+   same-time events fire in FIFO scheduling order, exactly like the
+   Map.Make queue this replaces. Cancellation is lazy — a cancelled event
+   stays in the heap and is discarded when it surfaces. To keep observable
+   behavior identical to the old queue, a surfacing cancelled event still
+   advances the clock and counts as a step (only its thunk is skipped);
+   [pending_events], however, counts live events only, via a shared counter
+   the handle can reach (a cancel has no engine in scope). *)
 
-  let compare (t1, s1) (t2, s2) =
-    match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c
-end
+type handle = {
+  mutable state : [ `Pending | `Fired | `Cancelled ];
+  live : int ref; (* the owning engine's live-event counter *)
+}
 
-module Queue = Map.Make (Key)
-
-type handle = { key : Key.t; mutable state : [ `Pending | `Fired | `Cancelled ] }
+type event = { at : time; seq : int; handle : handle; thunk : unit -> unit }
 
 type t = {
   mutable clock : time;
-  mutable queue : (handle * (unit -> unit)) Queue.t;
+  mutable heap : event array; (* slots [0, size) are the heap *)
+  mutable size : int;
   mutable seq : int;
+  live : int ref;
   rng : Bft_util.Rng.t;
 }
 
 let create ?(seed = 1L) () =
-  { clock = 0L; queue = Queue.empty; seq = 0; rng = Bft_util.Rng.create seed }
+  {
+    clock = 0L;
+    heap = [||];
+    size = 0;
+    seq = 0;
+    live = ref 0;
+    rng = Bft_util.Rng.create seed;
+  }
 
 let now t = t.clock
 let rng t = t.rng
 
+let[@inline] earlier a b =
+  match Int64.compare a.at b.at with 0 -> a.seq < b.seq | c -> c < 0
+
+let sift_up heap i =
+  let ev = Array.unsafe_get heap i in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = Array.unsafe_get heap parent in
+    if earlier ev p then begin
+      Array.unsafe_set heap !i p;
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set heap !i ev
+
+let sift_down heap size i =
+  let ev = Array.unsafe_get heap i in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= size then continue := false
+    else begin
+      let r = l + 1 in
+      let child =
+        if r < size && earlier (Array.unsafe_get heap r) (Array.unsafe_get heap l)
+        then r
+        else l
+      in
+      let c = Array.unsafe_get heap child in
+      if earlier c ev then begin
+        Array.unsafe_set heap !i c;
+        i := child
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set heap !i ev
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let cap = max 64 (2 * Array.length t.heap) in
+    let heap = Array.make cap ev in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  Array.unsafe_set t.heap t.size ev;
+  sift_up t.heap t.size;
+  t.size <- t.size + 1
+
+let pop t =
+  let ev = Array.unsafe_get t.heap 0 in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    Array.unsafe_set t.heap 0 (Array.unsafe_get t.heap t.size);
+    sift_down t.heap t.size 0
+  end;
+  ev
+
 let schedule_at t at thunk =
   let at = if Int64.compare at t.clock < 0 then t.clock else at in
-  let key = (at, t.seq) in
+  let seq = t.seq in
   t.seq <- t.seq + 1;
-  let handle = { key; state = `Pending } in
-  t.queue <- Queue.add key (handle, thunk) t.queue;
+  let handle = { state = `Pending; live = t.live } in
+  push t { at; seq; handle; thunk };
+  incr t.live;
   handle
 
 let schedule t ~delay thunk =
   if Int64.compare delay 0L < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (Int64.add t.clock delay) thunk
 
-let cancel handle = if handle.state = `Pending then handle.state <- `Cancelled
+let cancel handle =
+  if handle.state = `Pending then begin
+    handle.state <- `Cancelled;
+    decr handle.live
+  end
+
 let is_pending handle = handle.state = `Pending
-let pending_events t = Queue.cardinal t.queue
+let pending_events t = !(t.live)
 
 let step t =
-  match Queue.min_binding_opt t.queue with
-  | None -> false
-  | Some (key, (handle, thunk)) ->
-      t.queue <- Queue.remove key t.queue;
-      let at, _ = key in
-      t.clock <- at;
-      if handle.state = `Pending then begin
-        handle.state <- `Fired;
-        thunk ()
-      end;
-      true
+  if t.size = 0 then false
+  else begin
+    let ev = pop t in
+    t.clock <- ev.at;
+    if ev.handle.state = `Pending then begin
+      ev.handle.state <- `Fired;
+      decr t.live;
+      ev.thunk ()
+    end;
+    true
+  end
 
 let default_max_events = 100_000_000
 
-let next_time t =
-  match Queue.min_binding_opt t.queue with None -> None | Some ((at, _), _) -> Some at
+let next_time t = if t.size = 0 then None else Some (Array.unsafe_get t.heap 0).at
 
 let run ?until ?(max_events = default_max_events) t =
   let rec loop remaining =

@@ -32,9 +32,14 @@ val cancel : handle -> unit
 val is_pending : handle -> bool
 
 val pending_events : t -> int
+(** Number of live (scheduled, not yet fired or cancelled) events.
+    Cancelled events awaiting lazy removal from the queue are not
+    counted. *)
 
 val step : t -> bool
-(** Execute the next event. Returns [false] when the queue is empty. *)
+(** Execute the next event. Returns [false] when the queue is empty.
+    A cancelled event surfacing from the queue still advances the clock
+    and returns [true]; only its thunk is skipped. *)
 
 val run : ?until:time -> ?max_events:int -> t -> unit
 (** Drain the event queue, stopping when it is empty, when virtual time

@@ -332,11 +332,9 @@ let test_forged_signature_rejected () =
     }
   in
   let env =
-    {
-      Message.sender = cfg.Config.n;
-      body = Message.Request req;
-      auth = Message.Auth_sig (Bft_crypto.Signature.forge ~signer_id:cfg.Config.n);
-    }
+    Message.envelope ~sender:cfg.Config.n
+      ~auth:(Message.Auth_sig (Bft_crypto.Signature.forge ~signer_id:cfg.Config.n))
+      (Message.Request req)
   in
   Bft_net.Network.multicast net ~src:cfg.Config.n
     ~dsts:(Config.replica_ids cfg)

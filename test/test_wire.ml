@@ -54,16 +54,18 @@ let test_size_scales_with_op () =
 
 let test_envelope_size_includes_auth () =
   let body = Request (req ()) in
-  let none = Wire.envelope_size { sender = 0; body; auth = Auth_none } in
+  let none = Wire.envelope_size (Message.envelope ~sender:0 ~auth:Auth_none body) in
   let auth =
     Auth_vector
       (List.init 3 (fun i -> (i, { Bft_crypto.Auth.tag = String.make 8 't'; epoch = 1 })))
   in
-  let vec = Wire.envelope_size { sender = 0; body; auth } in
+  let vec = Wire.envelope_size (Message.envelope ~sender:0 ~auth body) in
   Alcotest.(check int) "8 + 8*3 authenticator bytes" (8 + 24) (vec - none);
   let signed =
     Wire.envelope_size
-      { sender = 0; body; auth = Auth_sig (Bft_crypto.Signature.forge ~signer_id:0) }
+      (Message.envelope ~sender:0
+         ~auth:(Auth_sig (Bft_crypto.Signature.forge ~signer_id:0))
+         body)
   in
   Alcotest.(check int) "128-byte signature" 128 (signed - none)
 
