@@ -3,15 +3,19 @@
    a CI run can afford. Emits BENCH_wallclock.json.
 
    Usage: dune exec bench/wallclock.exe -- [--smoke|--full] [--out PATH]
-            [--check BASELINE.json] [--digests]
+            [--check BASELINE.json] [--digests] [--metrics-out PATH]
 
    --check fails (exit 1) if fuzz seeds/sec regressed more than 2x below
    the baseline JSON, the CI regression gate. --digests prints the pinned
-   fuzz-seed committed-history digests used by the determinism tests. *)
+   fuzz-seed committed-history digests used by the determinism tests.
+   --metrics-out writes the traced run's full per-node metrics registry
+   as JSON (the per-phase breakdown below is its replica-merged view). *)
 
 module Engine = Bft_sim.Engine
 module Runner = Bft_check.Runner
 module Sha256 = Bft_crypto.Sha256
+module Obs = Bft_obs.Obs
+module Hist = Bft_obs.Hist
 open Bft_core
 
 let wall () = Unix.gettimeofday ()
@@ -176,6 +180,45 @@ let bench_e2e ~f ~requests =
   { label = Printf.sprintf "e2e_f%d" f; units = float_of_int requests; seconds = dt }
 
 (* ------------------------------------------------------------------ *)
+(* per-phase virtual-time latency breakdown                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The timing benches above run untraced (tracing disabled is the hot-path
+   configuration). This separate run attaches an [Obs] registry to a
+   fuzz-style f = 1 scenario and merges the phase histograms across the
+   four replicas (end-to-end across the clients), giving the virtual-time
+   cost of each protocol stage rather than wall seconds. *)
+let bench_phases () =
+  let params = Runner.default_params ~seed:1 ~f:1 in
+  let reg = Obs.registry () in
+  ignore (Runner.run_schedule ~obs:reg params (Runner.generate params));
+  let n = (3 * params.Runner.f) + 1 in
+  let merged = Array.init 5 (fun _ -> Hist.create ()) in
+  let e2e = Hist.create () in
+  List.iter
+    (fun (id, o) ->
+      if id < n then
+        Array.iteri (fun i h -> Hist.merge_into h (Obs.phase_hist o i)) merged
+      else Hist.merge_into e2e (Obs.e2e_hist o))
+    (Obs.nodes reg);
+  (reg, merged, e2e)
+
+let phase_rows merged e2e =
+  Array.to_list (Array.mapi (fun i h -> (Obs.phase_name i, h)) merged)
+  @ [ ("request->reply", e2e) ]
+
+let print_phases merged e2e =
+  print_endline "per-phase virtual-time latency (replicas merged; e2e from clients):";
+  List.iter
+    (fun (name, h) ->
+      Printf.printf "  %-20s count=%-6d mean=%9.1fus p50=%9.1fus p99=%9.1fus max=%9.1fus\n"
+        name (Hist.count h) (Hist.mean_us h)
+        (Hist.percentile_us h 0.50)
+        (Hist.percentile_us h 0.99)
+        (Hist.max_us h))
+    (phase_rows merged e2e)
+
+(* ------------------------------------------------------------------ *)
 (* pinned-seed determinism digests                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -192,7 +235,7 @@ let print_digests () =
 (* JSON output and the regression gate                                 *)
 (* ------------------------------------------------------------------ *)
 
-let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e path =
+let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e ~phases path =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
@@ -215,6 +258,20 @@ let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e path =
         \"uncached_mb_per_sec\": %.2f, \"speedup\": %.2f },\n"
        pipe_cached.units (rate pipe_cached) (rate pipe_uncached)
        (rate pipe_cached /. rate pipe_uncached));
+  Buffer.add_string b "  \"phases\": {\n";
+  List.iteri
+    (fun i (name, h) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    %S: { \"count\": %d, \"mean_us\": %.1f, \"p50_us\": %.1f, \"p99_us\": \
+            %.1f, \"max_us\": %.1f }%s\n"
+           name (Hist.count h) (Hist.mean_us h)
+           (Hist.percentile_us h 0.50)
+           (Hist.percentile_us h 0.99)
+           (Hist.max_us h)
+           (if i = List.length phases - 1 then "" else ",")))
+    phases;
+  Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"e2e\": [\n";
   List.iteri
     (fun i (f, m) ->
@@ -262,6 +319,7 @@ let () =
   let out = ref "BENCH_wallclock.json" in
   let check = ref "" in
   let digests = ref false in
+  let metrics_out = ref "" in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> mode := "smoke"; parse rest
@@ -269,6 +327,7 @@ let () =
     | "--digests" :: rest -> digests := true; parse rest
     | "--out" :: p :: rest -> out := p; parse rest
     | "--check" :: p :: rest -> check := p; parse rest
+    | "--metrics-out" :: p :: rest -> metrics_out := p; parse rest
     | a :: _ -> Printf.eprintf "wallclock: unknown argument %s\n" a; exit 64
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -283,7 +342,16 @@ let () =
     let pipe_uncached = bench_pipeline ~iters:pipe_iters ~cached:false in
     let reqs = if smoke then 30 else 150 in
     let e2e = List.map (fun f -> (f, bench_e2e ~f ~requests:reqs)) [ 1; 2; 3 ] in
-    emit_json ~mode:!mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e !out;
+    let reg, merged, phase_e2e = bench_phases () in
+    print_phases merged phase_e2e;
+    if !metrics_out <> "" then begin
+      let oc = open_out !metrics_out in
+      output_string oc (Obs.registry_to_json reg);
+      close_out oc;
+      Printf.printf "metrics registry written to %s\n" !metrics_out
+    end;
+    emit_json ~mode:!mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e
+      ~phases:(phase_rows merged phase_e2e) !out;
     if !check <> "" then begin
       let base = baseline_seeds_per_sec !check in
       let cur = rate fuzz in

@@ -232,7 +232,20 @@ let fuzz_cmd =
     List.iter (fun f -> Printf.printf "  %s\n" f) r.Bft_check.Runner.failures;
     Printf.printf "minimal schedule (%d events):\n" (List.length r.Bft_check.Runner.schedule);
     Format.printf "  @[<v>%a@]@." Bft_check.Schedule.pp r.Bft_check.Runner.schedule;
-    Printf.printf "replay: %s\n" (Bft_check.Runner.replay_line params r.Bft_check.Runner.schedule)
+    Printf.printf "replay: %s\n" (Bft_check.Runner.replay_line params r.Bft_check.Runner.schedule);
+    (* replay the shrunk schedule with tracing enabled and dump each node's
+       recent protocol events — the counterexample's story, node by node *)
+    let reg = Bft_obs.Obs.registry () in
+    ignore (Bft_check.Runner.run_schedule ~obs:reg params r.Bft_check.Runner.schedule);
+    Printf.printf "trace dump (last 25 events per node):\n";
+    List.iter
+      (fun (id, o) ->
+        Printf.printf "  node %d (%s):\n" id
+          (if id < (3 * params.Bft_check.Runner.f) + 1 then "replica" else "client");
+        List.iter
+          (fun e -> Printf.printf "    %s\n" (Bft_obs.Obs.entry_to_string e))
+          (Bft_obs.Obs.events ~last:25 o))
+      (Bft_obs.Obs.nodes reg)
   in
   let run verbose f seed seeds clients ops horizon_us schedule expect_no_view_change =
     setup_logs verbose;
@@ -300,6 +313,121 @@ let fuzz_cmd =
       const run $ verbose $ f_arg $ seed_arg $ seeds_arg $ clients_arg $ ops_arg $ horizon_arg
       $ schedule_arg $ no_vc_arg)
 
+(* --- trace / metrics --- *)
+
+(* Shared by [trace] and [metrics]: run one fuzz-style scenario (seed-derived
+   or explicit schedule) with per-node tracing attached. *)
+let traced_run ~seed ~f ~clients ~ops ~horizon_us ~schedule =
+  let params =
+    {
+      (Bft_check.Runner.default_params ~seed ~f) with
+      clients;
+      ops_per_client = ops;
+      horizon_us;
+    }
+  in
+  let sched =
+    match schedule with
+    | None -> Bft_check.Runner.generate params
+    | Some s -> (
+        match Bft_check.Schedule.of_string s with
+        | Ok sched -> sched
+        | Error e ->
+            Printf.eprintf "bad --schedule: %s\n" e;
+            exit 2)
+  in
+  let reg = Bft_obs.Obs.registry () in
+  let r = Bft_check.Runner.run_schedule ~obs:reg params sched in
+  (params, r, reg)
+
+let sched_arg_of ~doc = Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"SCHED" ~doc)
+let clients_trace_arg = Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Closed-loop clients.")
+let ops_trace_arg = Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Operations per client.")
+
+let horizon_trace_arg =
+  Arg.(
+    value & opt float 60_000.0
+    & info [ "horizon-us" ] ~doc:"Fault-injection window in virtual microseconds.")
+
+let trace_cmd =
+  let last_arg =
+    Arg.(value & opt int 40 & info [ "last" ] ~docv:"K" ~doc:"Events shown per node.")
+  in
+  let run verbose f seed clients ops horizon_us schedule last =
+    setup_logs verbose;
+    let params, r, reg = traced_run ~seed ~f ~clients ~ops ~horizon_us ~schedule in
+    Printf.printf "seed %d: %d/%d ops, %d view change(s), max view %d, digest %s\n" seed
+      r.Bft_check.Runner.completed_ops r.Bft_check.Runner.total_ops
+      r.Bft_check.Runner.view_changes r.Bft_check.Runner.max_view
+      (String.sub r.Bft_check.Runner.history_digest 0 12);
+    List.iter
+      (fun (id, o) ->
+        Printf.printf "--- node %d (%s), %d events ---\n" id
+          (if id < (3 * params.Bft_check.Runner.f) + 1 then "replica" else "client")
+          (List.length (Bft_obs.Obs.events o));
+        List.iter
+          (fun e -> Printf.printf "  %s\n" (Bft_obs.Obs.entry_to_string e))
+          (Bft_obs.Obs.events ~last o))
+      (Bft_obs.Obs.nodes reg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a fuzz scenario with tracing enabled and print per-node event traces.")
+    Term.(
+      const run $ verbose $ f_arg $ seed_arg $ clients_trace_arg $ ops_trace_arg
+      $ horizon_trace_arg
+      $ sched_arg_of ~doc:"Explicit fault schedule to replay instead of the seed-derived one."
+      $ last_arg)
+
+let metrics_cmd =
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics as JSON.") in
+  let run verbose f seed clients ops horizon_us schedule json =
+    setup_logs verbose;
+    let params, r, reg = traced_run ~seed ~f ~clients ~ops ~horizon_us ~schedule in
+    let sim = r.Bft_check.Runner.sim in
+    let hwm_str sep fmt =
+      String.concat sep
+        (List.map (fun (i, d) -> Printf.sprintf fmt i d) sim.Bft_check.Runner.sc_backlog_hwm)
+    in
+    if json then
+      (* wrap the per-node registry with the system-level counters *)
+      Printf.printf
+        "{ \"sim\": { \"dropped\": %d, \"duplicated\": %d, \"events_fired\": %d, \
+         \"max_heap\": %d, \"backlog_hwm\": { %s } },\n\
+         \"nodes\": %s }\n"
+        sim.Bft_check.Runner.sc_dropped sim.Bft_check.Runner.sc_duplicated
+        sim.Bft_check.Runner.sc_events_fired sim.Bft_check.Runner.sc_max_heap
+        (hwm_str ", " "\"node%d\": %d")
+        (Bft_obs.Obs.registry_to_json reg)
+    else begin
+      Printf.printf "seed %d: %d/%d ops, %d view change(s), max view %d\n" seed
+        r.Bft_check.Runner.completed_ops r.Bft_check.Runner.total_ops
+        r.Bft_check.Runner.view_changes r.Bft_check.Runner.max_view;
+      Printf.printf
+        "network: dropped=%d duplicated=%d; engine: events=%d max_heap=%d\n\
+         cpu backlog high-water marks: %s\n"
+        sim.Bft_check.Runner.sc_dropped sim.Bft_check.Runner.sc_duplicated
+        sim.Bft_check.Runner.sc_events_fired sim.Bft_check.Runner.sc_max_heap
+        (hwm_str " " "%d:%d");
+      List.iter
+        (fun (id, o) ->
+          Printf.printf "node %d (%s):\n" id
+            (if id < (3 * params.Bft_check.Runner.f) + 1 then "replica" else "client");
+          List.iter print_endline (Bft_obs.Obs.summary_lines o))
+        (Bft_obs.Obs.nodes reg)
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a fuzz scenario with tracing enabled and print per-node latency histograms \
+          and counters.")
+    Term.(
+      const run $ verbose $ f_arg $ seed_arg $ clients_trace_arg $ ops_trace_arg
+      $ horizon_trace_arg
+      $ sched_arg_of ~doc:"Explicit fault schedule to replay instead of the seed-derived one."
+      $ json_arg)
+
 (* --- model --- *)
 
 let model_cmd =
@@ -324,4 +452,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; latency_cmd; andrew_cmd; viewchange_cmd; recover_cmd; model_cmd; fuzz_cmd ]))
+          [
+            run_cmd;
+            latency_cmd;
+            andrew_cmd;
+            viewchange_cmd;
+            recover_cmd;
+            model_cmd;
+            fuzz_cmd;
+            trace_cmd;
+            metrics_cmd;
+          ]))

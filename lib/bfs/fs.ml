@@ -214,29 +214,41 @@ let snapshot t =
     inos;
   Buffer.contents b
 
+(* Parse into fresh tables first and commit only on success, so a
+   malformed snapshot leaves the current image untouched. *)
 let restore t s =
-  Hashtbl.reset t.inodes;
+  let inodes = Hashtbl.create 64 in
+  let next_ino = ref t.next_ino in
   let lines = String.split_on_char '\n' s in
-  List.iter
-    (fun line ->
-      if line <> "" then
-        match String.split_on_char ' ' line with
-        | [ "next"; n ] -> t.next_ino <- int_of_string n
-        | [ "f"; ino; mtime; hex ] ->
-            Hashtbl.replace t.inodes (int_of_string ino)
-              (File { content = Bft_util.Hex.decode hex; f_mtime = Int64.of_string mtime })
-        | [ "d"; ino; mtime; ents ] ->
-            let tbl = Hashtbl.create 8 in
-            if ents <> "" then
-              List.iter
-                (fun kv ->
-                  match String.rindex_opt kv '=' with
-                  | Some i ->
-                      Hashtbl.replace tbl (String.sub kv 0 i)
-                        (int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)))
-                  | None -> failwith "Fs.restore: malformed directory entry")
-                (String.split_on_char ',' ents);
-            Hashtbl.replace t.inodes (int_of_string ino)
-              (Dir { entries = tbl; d_mtime = Int64.of_string mtime })
-        | _ -> failwith "Fs.restore: malformed snapshot")
-    lines
+  match
+    List.iter
+      (fun line ->
+        if line <> "" then
+          match String.split_on_char ' ' line with
+          | [ "next"; n ] -> next_ino := int_of_string n
+          | [ "f"; ino; mtime; hex ] ->
+              Hashtbl.replace inodes (int_of_string ino)
+                (File { content = Bft_util.Hex.decode hex; f_mtime = Int64.of_string mtime })
+          | [ "d"; ino; mtime; ents ] ->
+              let tbl = Hashtbl.create 8 in
+              if ents <> "" then
+                List.iter
+                  (fun kv ->
+                    match String.rindex_opt kv '=' with
+                    | Some i ->
+                        Hashtbl.replace tbl (String.sub kv 0 i)
+                          (int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)))
+                    | None -> failwith "malformed directory entry")
+                  (String.split_on_char ',' ents);
+              Hashtbl.replace inodes (int_of_string ino)
+                (Dir { entries = tbl; d_mtime = Int64.of_string mtime })
+          | _ -> failwith "malformed line")
+      lines
+  with
+  | () ->
+      Hashtbl.reset t.inodes;
+      Hashtbl.iter (Hashtbl.replace t.inodes) inodes;
+      t.next_ino <- !next_ino;
+      Ok ()
+  | exception Failure msg -> Error (Printf.sprintf "Fs.restore: %s" msg)
+  | exception Invalid_argument msg -> Error (Printf.sprintf "Fs.restore: %s" msg)

@@ -48,6 +48,6 @@ val num_inodes : t -> int
 val total_bytes : t -> int
 
 val snapshot : t -> string
-val restore : t -> string -> unit
-(** [restore] raises [Failure] on a malformed snapshot (a snapshot produced
-    by {!snapshot} always restores). *)
+val restore : t -> string -> (unit, string) result
+(** [Error] on a malformed snapshot, in which case the current image is
+    left untouched (a snapshot produced by {!snapshot} always restores). *)

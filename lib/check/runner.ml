@@ -30,6 +30,14 @@ let default_params ~seed ~f =
     expect_no_view_change = false;
   }
 
+type sim_counters = {
+  sc_dropped : int;
+  sc_duplicated : int;
+  sc_backlog_hwm : (int * int) list;
+  sc_events_fired : int;
+  sc_max_heap : int;
+}
+
 type run_result = {
   schedule : Schedule.t;
   report : Oracle.report;
@@ -39,6 +47,7 @@ type run_result = {
   view_changes : int;
   max_view : int;
   history_digest : string;
+  sim : sim_counters;
 }
 
 let failed r = r.failures <> []
@@ -56,13 +65,14 @@ let generate params =
   Schedule.generate ~rng:(schedule_rng params.seed) ~f:params.f ~n
     ~horizon_us:params.horizon_us
 
-let run_schedule params sched =
+let run_schedule ?obs params sched =
   let cfg =
     Config.make ~f:params.f ~checkpoint_interval:params.checkpoint_interval
       ~vc_timeout_us:params.vc_timeout_us ()
   in
   let cluster =
-    Cluster.create ~seed:(Int64.of_int params.seed) ~service ~num_clients:params.clients cfg
+    Cluster.create ~seed:(Int64.of_int params.seed) ~service ~num_clients:params.clients
+      ?obs cfg
   in
   let engine = Cluster.engine cluster and net = Cluster.network cluster in
   let n = cfg.Config.n in
@@ -217,6 +227,16 @@ let run_schedule params sched =
     view_changes;
     max_view;
     history_digest = Cluster.committed_history_digest cluster;
+    sim =
+      (let stats = Network.stats net in
+       {
+         sc_dropped = stats.Network.dropped;
+         sc_duplicated = stats.Network.duplicated;
+         sc_backlog_hwm =
+           List.map (fun i -> (i, Network.backlog_hwm net ~id:i)) (Config.replica_ids cfg);
+         sc_events_fired = Engine.events_fired engine;
+         sc_max_heap = Engine.max_heap_size engine;
+       });
   }
 
 let run_seed params = run_schedule params (generate params)

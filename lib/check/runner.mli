@@ -24,6 +24,15 @@ type params = {
 
 val default_params : seed:int -> f:int -> params
 
+type sim_counters = {
+  sc_dropped : int;  (** network-level message drops (faults + loss) *)
+  sc_duplicated : int;
+  sc_backlog_hwm : (int * int) list;
+      (** per replica id: deepest CPU receive backlog reached *)
+  sc_events_fired : int;  (** simulator events executed *)
+  sc_max_heap : int;  (** peak event-heap size *)
+}
+
 type run_result = {
   schedule : Schedule.t;
   report : Oracle.report;
@@ -37,6 +46,9 @@ type run_result = {
           a determinism fingerprint — identical [(params, schedule)] must
           yield identical digests, across processes and code refactors
           that preserve protocol semantics. *)
+  sim : sim_counters;
+      (** network/engine counters joined in from [Bft_net] / [Bft_sim]
+          at the end of the run (the metrics layer's system-level view). *)
 }
 
 val failed : run_result -> bool
@@ -44,10 +56,13 @@ val failed : run_result -> bool
 val generate : params -> Schedule.t
 (** The fault schedule derived deterministically from [params.seed]. *)
 
-val run_schedule : params -> Schedule.t -> run_result
+val run_schedule : ?obs:Bft_obs.Obs.registry -> params -> Schedule.t -> run_result
 (** Build a cluster, inject the schedule's events at their virtual times,
     drive [clients] closed-loop clients through unique KV writes, quiesce
-    all network faults at the horizon, and evaluate every oracle. *)
+    all network faults at the horizon, and evaluate every oracle. [obs]
+    attaches per-node tracing (used to dump traces when replaying a shrunk
+    counterexample); runs without it are untraced and byte-identical to
+    the pre-tracing behavior. *)
 
 val run_seed : params -> run_result
 (** [run_schedule] on the schedule generated from [params.seed]. *)

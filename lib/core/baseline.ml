@@ -131,8 +131,13 @@ let run_until ?(timeout_us = 10_000_000.0) t cond =
   ignore (Engine.run_while t.engine ~until:deadline (fun () -> not (cond ())));
   cond ()
 
-let invoke_sync ?timeout_us t ~client op =
+let try_invoke_sync ?timeout_us t ~client op =
   let result = ref None in
   invoke t ~client op (fun ~result:r ~latency_us -> result := Some (r, latency_us));
-  if run_until ?timeout_us t (fun () -> !result <> None) then Option.get !result
-  else failwith "Baseline.invoke_sync: timeout"
+  if run_until ?timeout_us t (fun () -> !result <> None) then Ok (Option.get !result)
+  else Error "Baseline.invoke_sync: timeout"
+
+let invoke_sync ?timeout_us t ~client op =
+  match try_invoke_sync ?timeout_us t ~client op with
+  | Ok r -> r
+  | Error msg -> failwith msg

@@ -20,6 +20,13 @@ val create :
 val engine : t -> Bft_sim.Engine.t
 
 val invoke : t -> client:int -> string -> (result:string -> latency_us:float -> unit) -> unit
+
+val try_invoke_sync :
+  ?timeout_us:float -> t -> client:int -> string -> (string * float, string) result
+(** [Error] on timeout instead of raising. *)
+
 val invoke_sync : ?timeout_us:float -> t -> client:int -> string -> string * float
+(** Raising wrapper over {!try_invoke_sync}. *)
+
 val run_until : ?timeout_us:float -> t -> (unit -> bool) -> bool
 val client_completed : t -> int -> int

@@ -1,6 +1,7 @@
 module Engine = Bft_sim.Engine
 module Network = Bft_net.Network
 module Costs = Bft_net.Costs
+module Obs = Bft_obs.Obs
 open Message
 
 type deps = {
@@ -24,11 +25,13 @@ type pending = {
   mutable p_timer : Engine.handle option;
   mutable p_retries : int;
   mutable p_broadcast : bool; (* already retransmitted to all replicas *)
+  mutable p_promoted : bool; (* read-only retried as a regular request *)
 }
 
 type t = {
   d : deps;
   id : int;
+  obs : Obs.t;
   engine : Engine.t;
   costs : Costs.t;
   mutable view_guess : int;
@@ -84,9 +87,12 @@ let send_request t req ~to_all =
 
 let rec arm_timer t p =
   (* adaptive timeout: a multiple of the smoothed measured response time,
-     floored by the configured minimum, with exponential backoff *)
+     floored by the configured minimum, with exponential backoff capped at
+     [client_retry_max_us] (an uncapped 2^retries overflows to infinity and
+     the client stops retrying forever) *)
   let base = Float.max t.d.cfg.Config.client_retry_us (3.0 *. t.srtt_us) in
-  let delay = base *. (2.0 ** float_of_int p.p_retries) in
+  let expo = 2.0 ** float_of_int (min p.p_retries 30) in
+  let delay = Float.min (base *. expo) t.d.cfg.Config.client_retry_max_us in
   p.p_timer <-
     Some
       (Engine.schedule t.engine ~delay:(Engine.of_us_float delay) (fun () ->
@@ -95,14 +101,21 @@ let rec arm_timer t p =
              t.retransmissions <- t.retransmissions + 1;
              p.p_retries <- p.p_retries + 1;
              p.p_broadcast <- true;
-             let req = p.p_req in
              (* a read-only request that keeps failing is retried as a
-                regular request (Section 5.1.3) *)
+                regular request (Section 5.1.3); replies to the read-only
+                version are void at that point, but on an ordinary
+                retransmission matching replies already collected for this
+                timestamp stay valid and are kept *)
+             if p.p_req.read_only && (not p.p_promoted) && p.p_retries >= 2 then begin
+               p.p_promoted <- true;
+               Hashtbl.reset p.p_replies
+             end;
              let req =
-               if req.read_only && p.p_retries >= 2 then { req with read_only = false }
-               else req
+               if p.p_promoted then { p.p_req with read_only = false } else p.p_req
              in
-             Hashtbl.reset p.p_replies;
+             if Obs.enabled t.obs then
+               Obs.client_retransmit t.obs ~now:(Engine.now t.engine)
+                 ~timestamp:p.p_req.timestamp ~retries:p.p_retries ~delay_us:delay;
              send_request t req ~to_all:true;
              arm_timer t p
            end))
@@ -130,7 +143,7 @@ let try_complete t p =
       match full with
       | Some result ->
           let ok =
-            if p.p_req.read_only then total >= needed_quorum
+            if p.p_req.read_only && not p.p_promoted then total >= needed_quorum
             else nontent >= needed_weak || total >= needed_quorum
           in
           if ok then winner := Some result
@@ -144,6 +157,9 @@ let try_complete t p =
       let latency = Engine.to_us (Int64.sub (Engine.now t.engine) p.p_started) in
       t.srtt_us <-
         (if t.srtt_us = 0.0 then latency else (0.8 *. t.srtt_us) +. (0.2 *. latency));
+      if Obs.enabled t.obs then
+        Obs.client_complete t.obs ~now:(Engine.now t.engine)
+          ~timestamp:p.p_req.timestamp ~latency_us:latency;
       p.p_callback ~result ~latency_us:latency
   | None -> ()
 
@@ -193,11 +209,12 @@ let handle t (env : envelope) =
       | _ -> ())
   | _ -> ()
 
-let create d ~id =
+let create ?(obs = Obs.null) d ~id =
   let t =
     {
       d;
       id;
+      obs;
       engine = Network.engine d.net;
       costs = Network.costs d.net;
       view_guess = 0;
@@ -236,6 +253,7 @@ let invoke t ?(read_only = false) ~op callback =
       p_timer = None;
       p_retries = 0;
       p_broadcast = false;
+      p_promoted = false;
     }
   in
   t.pending <- Some p;

@@ -10,8 +10,11 @@
     Under the digest-replies optimization only the designated replier
     returns the full result; the client matches the rest by digest. On
     timeout the request is retransmitted to all replicas with exponential
-    backoff; a read-only request that cannot assemble a quorum is retried
-    as a regular read-write request. *)
+    backoff capped at [Config.client_retry_max_us]; replies already
+    collected for the same timestamp are kept across retransmissions. A
+    read-only request that cannot assemble a quorum is retried as a
+    regular read-write request (promotion), which voids the read-only
+    replies collected so far. *)
 
 type t
 
@@ -24,9 +27,10 @@ type deps = {
   rng : Bft_util.Rng.t;
 }
 
-val create : deps -> id:int -> t
+val create : ?obs:Bft_obs.Obs.t -> deps -> id:int -> t
 (** Registers the client's network handler. One outstanding request at a
-    time (the paper's well-formedness condition). *)
+    time (the paper's well-formedness condition). [obs] defaults to the
+    disabled sink. *)
 
 val id : t -> int
 

@@ -1,6 +1,7 @@
 module Engine = Bft_sim.Engine
 module Network = Bft_net.Network
 module Costs = Bft_net.Costs
+module Obs = Bft_obs.Obs
 
 type t = {
   engine : Engine.t;
@@ -9,6 +10,7 @@ type t = {
   replicas : Replica.t array;
   clients : Client.t array;
   correct : int list ref;
+  obs : Obs.registry option;
 }
 
 let engine t = t.engine
@@ -19,6 +21,7 @@ let replicas t = t.replicas
 let client t k = t.clients.(k)
 let num_clients t = Array.length t.clients
 let correct_replicas t = t.correct
+let observations t = t.obs
 
 (* Establish directional session keys between two principals, both ways,
    bypassing new-key messages (the initial key exchange of Section 4.3.1). *)
@@ -30,7 +33,7 @@ let establish_keys rng a_chain b_chain =
   ignore (Bft_crypto.Keychain.install_out_key b_chain ~peer:a k_ba)
 
 let create ?(seed = 42L) ?(costs = Costs.default) ?service ?(page_size = 4096)
-    ?(branching = 16) ?(num_clients = 1) cfg =
+    ?(branching = 16) ?(num_clients = 1) ?obs cfg =
   let engine = Engine.create ~seed () in
   let rng = Engine.rng engine in
   let net = Network.create ~engine ~costs ~rng:(Bft_util.Rng.split rng) () in
@@ -67,7 +70,8 @@ let create ?(seed = 42L) ?(costs = Costs.default) ?service ?(page_size = 4096)
             branching;
           }
         in
-        Replica.create deps ~id:i)
+        let node_obs = Option.map (fun reg -> Obs.for_node reg i) obs in
+        Replica.create ?obs:node_obs deps ~id:i)
   in
   let clients =
     Array.init num_clients (fun k ->
@@ -81,10 +85,11 @@ let create ?(seed = 42L) ?(costs = Costs.default) ?service ?(page_size = 4096)
             rng = Bft_util.Rng.split rng;
           }
         in
-        Client.create deps ~id:(n + k))
+        let node_obs = Option.map (fun reg -> Obs.for_node reg (n + k)) obs in
+        Client.create ?obs:node_obs deps ~id:(n + k))
   in
   Array.iter Replica.start replicas;
-  { engine; net; cfg; replicas; clients; correct = ref (List.init n Fun.id) }
+  { engine; net; cfg; replicas; clients; correct = ref (List.init n Fun.id); obs }
 
 let run ?(timeout_us = 10_000_000.0) t =
   Engine.run ~until:(Engine.of_us_float timeout_us) t.engine
@@ -95,12 +100,24 @@ let run_until ?(timeout_us = 10_000_000.0) t cond =
   ignore exhausted;
   cond ()
 
-let invoke_sync_latency ?(timeout_us = 10_000_000.0) t ~client:k ?(read_only = false) op =
+let try_invoke_sync ?(timeout_us = 10_000_000.0) t ~client:k ?(read_only = false) op =
   let c = t.clients.(k) in
   let result = ref None in
   Client.invoke c ~read_only ~op (fun ~result:r ~latency_us -> result := Some (r, latency_us));
-  if run_until ~timeout_us t (fun () -> !result <> None) then Option.get !result
-  else failwith (Printf.sprintf "invoke_sync: timeout for op %S" op)
+  if run_until ~timeout_us t (fun () -> !result <> None) then Ok (Option.get !result)
+  else begin
+    (match t.obs with
+    | Some reg ->
+        let o = Obs.for_node reg (Client.id c) in
+        Obs.invoke_timeout o ~now:(Engine.now t.engine) ~op
+    | None -> ());
+    Error (Printf.sprintf "invoke_sync: timeout for op %S" op)
+  end
+
+let invoke_sync_latency ?timeout_us t ~client ?read_only op =
+  match try_invoke_sync ?timeout_us t ~client ?read_only op with
+  | Ok r -> r
+  | Error msg -> failwith msg
 
 let invoke_sync ?timeout_us t ~client ?read_only op =
   fst (invoke_sync_latency ?timeout_us t ~client ?read_only op)

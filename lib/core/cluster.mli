@@ -11,10 +11,13 @@ val create :
   ?page_size:int ->
   ?branching:int ->
   ?num_clients:int ->
+  ?obs:Bft_obs.Obs.registry ->
   Config.t ->
   t
 (** Service factory defaults to {!Bft_sm.Null_service.create}; each replica
-    gets its own instance. Client ids are [n, n+1, ...]. *)
+    gets its own instance. Client ids are [n, n+1, ...]. When [obs] is
+    given, every replica and client records traces and metrics into its
+    per-node sink; without it, tracing is fully disabled. *)
 
 val engine : t -> Bft_sim.Engine.t
 val network : t -> Message.envelope Bft_net.Network.t
@@ -26,15 +29,31 @@ val client : t -> int -> Client.t
 
 val num_clients : t -> int
 
+val observations : t -> Bft_obs.Obs.registry option
+(** The registry passed at creation, if any. *)
+
 val run : ?timeout_us:float -> t -> unit
 (** Drain events up to the (virtual-time) deadline; default 10 seconds. *)
 
 val run_until : ?timeout_us:float -> t -> (unit -> bool) -> bool
 (** Returns [true] when the condition was reached before the deadline. *)
 
+val try_invoke_sync :
+  ?timeout_us:float ->
+  t ->
+  client:int ->
+  ?read_only:bool ->
+  string ->
+  (string * float, string) result
+(** Issue one operation from the given client and run the simulation until
+    it completes; returns the result and client-observed latency (us of
+    virtual time), or [Error] describing the timeout. Timeouts are counted
+    in the client's metrics when an observation registry is attached. *)
+
 val invoke_sync : ?timeout_us:float -> t -> client:int -> ?read_only:bool -> string -> string
 (** Issue one operation from the given client and run the simulation until
-    it completes; returns the result. Raises [Failure] on timeout. *)
+    it completes; returns the result. Raises [Failure] on timeout
+    (thin wrapper over {!try_invoke_sync}). *)
 
 val invoke_sync_latency :
   ?timeout_us:float -> t -> client:int -> ?read_only:bool -> string -> string * float

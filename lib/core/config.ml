@@ -15,6 +15,7 @@ type t = {
   digest_replies_threshold : int;
   separate_tx_threshold : int;
   client_retry_us : float;
+  client_retry_max_us : float;
   vc_timeout_us : float;
   status_interval_us : float;
   recovery : bool;
@@ -26,7 +27,8 @@ type t = {
 let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_batch = 16)
     ?(batching = true) ?(window = 16) ?(tentative_execution = true) ?(read_only_opt = true)
     ?(digest_replies = true) ?(digest_replies_threshold = 32) ?(separate_tx_threshold = 255)
-    ?(client_retry_us = 20_000.0) ?(vc_timeout_us = 50_000.0)
+    ?(client_retry_us = 20_000.0) ?(client_retry_max_us = 60_000_000.0)
+    ?(vc_timeout_us = 50_000.0)
     ?(status_interval_us = 10_000.0) ?(recovery = false)
     ?(watchdog_period_us = 2_000_000.0) ?(key_refresh_us = 500_000.0) ~f () =
   if f < 1 then invalid_arg "Config.make: f must be >= 1";
@@ -48,6 +50,7 @@ let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_ba
     digest_replies_threshold;
     separate_tx_threshold;
     client_retry_us;
+    client_retry_max_us;
     vc_timeout_us;
     status_interval_us;
     recovery;

@@ -26,7 +26,9 @@ type t = {
   separate_tx_threshold : int;
       (** requests above this size are multicast by the client and carried
           by digest in pre-prepares (Section 5.1.5) *)
-  client_retry_us : float;  (** client retransmission timeout *)
+  client_retry_us : float;  (** client retransmission timeout (base) *)
+  client_retry_max_us : float;
+      (** cap on the exponentially backed-off retransmission delay *)
   vc_timeout_us : float;  (** initial view-change timeout T (doubles) *)
   status_interval_us : float;  (** periodic status message interval *)
   recovery : bool;  (** BFT-PR proactive recovery (Chapter 4) *)
@@ -48,6 +50,7 @@ val make :
   ?digest_replies_threshold:int ->
   ?separate_tx_threshold:int ->
   ?client_retry_us:float ->
+  ?client_retry_max_us:float ->
   ?vc_timeout_us:float ->
   ?status_interval_us:float ->
   ?recovery:bool ->

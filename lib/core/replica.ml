@@ -1,6 +1,7 @@
 module Engine = Bft_sim.Engine
 module Network = Bft_net.Network
 module Costs = Bft_net.Costs
+module Obs = Bft_obs.Obs
 open Message
 
 let src = Logs.Src.create "bft.replica" ~doc:"BFT replica"
@@ -65,6 +66,7 @@ type recovery = {
 type t = {
   d : deps;
   id : int;
+  obs : Obs.t;
   engine : Engine.t;
   costs : Costs.t;
   rng : Bft_util.Rng.t;
@@ -397,6 +399,7 @@ let try_stabilize t =
         (fun n _ -> if n <= seq then Hashtbl.remove t.qset n)
         (Hashtbl.copy t.qset);
       L.debug (fun m -> m "replica %d: checkpoint %d stable" t.id seq);
+      if Obs.enabled t.obs then Obs.checkpoint_stable t.obs ~now:(now t) ~seq;
       (* recovery completes when the checkpoint at the recovery point is
          stable (Section 4.3.2) *)
       (match t.recovering with
@@ -405,6 +408,7 @@ let try_stabilize t =
           t.recovering <- None;
           t.hm_bound <- max_int;
           t.counters.n_recoveries <- t.counters.n_recoveries + 1;
+          if Obs.enabled t.obs then Obs.recovery_phase t.obs ~now:(now t) "complete";
           L.info (fun m -> m "replica %d: recovery complete at %d" t.id seq)
       | _ -> ());
       !process_queue_ref t
@@ -422,6 +426,8 @@ let execute_batch t n ~tentative =
   | Some pp, Some d ->
       let is_null = String.equal d Wire.null_batch_digest in
       let elems = if is_null then [] else pp.pp_batch in
+      if Obs.enabled t.obs then
+        Obs.phase t.obs ~now:(now t) Obs.Executed ~view:t.view ~seq:n;
       let wave = ref [] in
       List.iter
         (fun elem ->
@@ -485,6 +491,9 @@ let execute_batch t n ~tentative =
                     Result_digest (Wire.result_digest result)
                   end
                 in
+                if Obs.enabled t.obs then
+                  Obs.reply_sent t.obs ~now:(now t) ~client:req.client ~seq:n
+                    ~digest:(Wire.request_digest req) ~tentative;
                 send_to t ~dst:req.client
                   (Reply
                      {
@@ -572,7 +581,11 @@ let update_committed_upto t =
   let continue = ref true in
   while !continue do
     let n = t.committed_upto + 1 in
-    if Log.committed t.log ~view:t.view ~seq:n then t.committed_upto <- n
+    if Log.committed t.log ~view:t.view ~seq:n then begin
+      t.committed_upto <- n;
+      if Obs.enabled t.obs then
+        Obs.phase t.obs ~now:(now t) Obs.Committed ~view:t.view ~seq:n
+    end
     else continue := false
   done
 
@@ -646,6 +659,15 @@ let send_pre_prepare t batch nondet =
   charge t (Costs.digest_us t.costs (Wire.size (Pre_prepare pp)));
   ignore (Log.accept_pre_prepare t.log ~view:t.view pp d);
   (Log.find t.log n).Log.self_preprepared <- true;
+  if Obs.enabled t.obs then begin
+    Obs.phase t.obs ~now:(now t) Obs.Preprepared ~view:t.view ~seq:n;
+    let digests =
+      List.map
+        (function Inline (r, _) -> Wire.request_digest r | By_digest dd -> dd)
+        batch
+    in
+    Obs.batch_assigned t.obs ~now:(now t) ~seq:n ~digests
+  end;
   if t.byzantine then begin
     (* equivocation: a conflicting assignment for the same sequence number
        is sent to half the backups *)
@@ -742,6 +764,8 @@ let handle_request t (req : request) token ~verified ~relayed =
   end
   else begin
     ignore (store_request t req token verified);
+    if Obs.enabled t.obs then
+      Obs.request_arrival t.obs ~now:(now t) ~client:req.client ~digest:d;
     !retry_deferred_pps_ref t;
     if req.read_only && t.d.cfg.Config.read_only_opt && verified then begin
       t.pending_ro <- req :: t.pending_ro;
@@ -814,7 +838,11 @@ let check_prepared_to_commit t ~seq =
       if
         Log.prepared t.log ~view:t.view ~seq
         && not (Hashtbl.mem e.Log.commits t.id)
-      then send_commit t ~view:t.view ~seq d;
+      then begin
+        if Obs.enabled t.obs then
+          Obs.phase t.obs ~now:(now t) Obs.Prepared ~view:t.view ~seq;
+        send_commit t ~view:t.view ~seq d
+      end;
       try_execute t
   | _ -> ()
 
@@ -853,6 +881,15 @@ let accept_pre_prepare t (pp : pre_prepare) =
       if authentic && have_bodies then begin
         ignore (store_batch t pp);
         if Log.accept_pre_prepare t.log ~view:v pp d then begin
+          if Obs.enabled t.obs then begin
+            Obs.phase t.obs ~now:(now t) Obs.Preprepared ~view:v ~seq:n;
+            let digests =
+              List.map
+                (function Inline (r, _) -> Wire.request_digest r | By_digest dd -> dd)
+                pp.pp_batch
+            in
+            Obs.batch_assigned t.obs ~now:(now t) ~seq:n ~digests
+          end;
           List.iter
             (fun e ->
               match resolve_elem t e with
@@ -948,6 +985,8 @@ let start_view_change t new_view =
   if new_view > t.view then begin
     t.counters.n_view_changes <- t.counters.n_view_changes + 1;
     L.debug (fun m -> m "replica %d: view change %d -> %d" t.id t.view new_view);
+    if Obs.enabled t.obs then
+      Obs.view_change_start t.obs ~now:(now t) ~from_view:t.view ~to_view:new_view;
     t.view <- new_view;
     t.active <- false;
     stop_vc_timer t;
@@ -1146,6 +1185,7 @@ let send_fetch t ~level ~index =
   | None -> ()
   | Some tx ->
       Hashtbl.replace tx.tx_pending (level, index) ();
+      if Obs.enabled t.obs then Obs.transfer_fetch t.obs ~now:(now t) ~level ~index;
       broadcast t
         (Fetch
            {
@@ -1178,6 +1218,7 @@ let start_transfer t ~target ~root_digest =
       | None -> ());
       t.counters.n_state_transfers <- t.counters.n_state_transfers + 1;
       L.debug (fun m -> m "replica %d: state transfer to %d" t.id target);
+      if Obs.enabled t.obs then Obs.transfer_start t.obs ~now:(now t) ~target;
       let tx =
         {
           tx_target = target;
@@ -1296,6 +1337,8 @@ let check_transfer_done t =
             announce_checkpoint t tx.tx_target;
             try_stabilize t;
             Log.truncate t.log tx.tx_target;
+            if Obs.enabled t.obs then
+              Obs.transfer_done t.obs ~now:(now t) ~target:tx.tx_target;
             L.debug (fun m -> m "replica %d: state transfer to %d complete" t.id tx.tx_target);
             try_execute t;
             !recovery_step_ref t
@@ -1452,6 +1495,7 @@ let vc_available t v (sender, digest) =
 let enter_new_view t (nv : new_view) =
   let v = nv.nv_view in
   L.debug (fun m -> m "replica %d: entering view %d (start=%d)" t.id v nv.nv_start);
+  if Obs.enabled t.obs then Obs.new_view_entered t.obs ~now:(now t) ~view:v;
   t.view <- v;
   t.active <- true;
   t.deferred_nv <- None;
@@ -1826,6 +1870,8 @@ let try_finish_estimation t =
           t.hm_bound <- hm;
           Checkpoint_store.drop_above t.ckpts hm;
           rc.rc_phase <- `Waiting_recovery_reply;
+          if Obs.enabled t.obs then
+            Obs.recovery_phase t.obs ~now:(now t) "recovery-request";
           (* recovery request through the normal protocol, signed by the
              co-processor *)
           t.coproc_counter <- Int64.add t.coproc_counter 1L;
@@ -1910,6 +1956,8 @@ let handle_recovery_reply t (rp : reply) =
                 rc.rc_recovery_point <- h_r;
                 rc.rc_phase <- `Fetching;
                 t.hm_bound <- h_r;
+                if Obs.enabled t.obs then
+                  Obs.recovery_phase t.obs ~now:(now t) "fetching";
                 !recovery_step_ref t
               end
           | None -> ())
@@ -1940,6 +1988,7 @@ let () = recovery_step_ref := recovery_step
 let begin_recovery t =
   if t.recovering = None then begin
     L.info (fun m -> m "replica %d: proactive recovery begins" t.id);
+    if Obs.enabled t.obs then Obs.recovery_phase t.obs ~now:(now t) "estimating";
     (* a recovering primary abdicates first (Section 4.3.2) *)
     if is_primary t && t.active then broadcast t (View_change
       { vc_view = t.view + 1; vc_h = Checkpoint_store.stable_seq t.ckpts;
@@ -2073,12 +2122,13 @@ let handle t (env : envelope) =
 (* Construction                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let create d ~id =
+let create ?(obs = Obs.null) d ~id =
   let engine = Network.engine d.net in
   let t =
     {
       d;
       id;
+      obs;
       engine;
       costs = Network.costs d.net;
       rng = Bft_util.Rng.split d.rng;

@@ -33,9 +33,10 @@ type deps = {
   branching : int;
 }
 
-val create : deps -> id:int -> t
+val create : ?obs:Bft_obs.Obs.t -> deps -> id:int -> t
 (** Create the replica and register its handler with the network. Timers
-    (status, key refresh, watchdog) start on {!start}. *)
+    (status, key refresh, watchdog) start on {!start}. [obs] defaults to
+    the disabled sink (zero-cost tracing). *)
 
 val start : t -> unit
 

@@ -15,6 +15,7 @@ type 'msg node = {
   (* messages that arrived while the CPU was busy, FIFO *)
   backlog : (int * 'msg) Queue.t;
   mutable draining : bool;
+  mutable backlog_hwm : int; (* deepest backlog ever observed *)
 }
 
 type 'msg t = {
@@ -61,7 +62,14 @@ let add_node t ~id ~handler =
   if Hashtbl.mem t.nodes id then
     invalid_arg (Printf.sprintf "Network.add_node: duplicate id %d" id);
   Hashtbl.replace t.nodes id
-    { handler; busy_until = 0L; crashed = false; backlog = Queue.create (); draining = false }
+    {
+      handler;
+      busy_until = 0L;
+      crashed = false;
+      backlog = Queue.create ();
+      draining = false;
+      backlog_hwm = 0;
+    }
 
 let set_handler t ~id ~handler = (node t id).handler <- handler
 
@@ -73,6 +81,7 @@ let charge t ~id us =
 
 let busy_until t ~id = (node t id).busy_until
 let backlog t ~id = Queue.length (node t id).backlog
+let backlog_hwm t ~id = (node t id).backlog_hwm
 
 let partitioned t a b =
   match t.partition with
@@ -118,6 +127,8 @@ let deliver t ~dst ~size msg =
     let now = Engine.now t.engine in
     if n.draining || Int64.compare n.busy_until now > 0 then begin
       Queue.add (size, msg) n.backlog;
+      let depth = Queue.length n.backlog in
+      if depth > n.backlog_hwm then n.backlog_hwm <- depth;
       if not n.draining then begin
         n.draining <- true;
         ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))

@@ -45,6 +45,10 @@ val backlog : 'msg t -> id:int -> int
     protocol layer consults this to yield under overload, like a real
     single-threaded replica would. *)
 
+val backlog_hwm : 'msg t -> id:int -> int
+(** Deepest CPU backlog the node has ever reached — the queueing
+    high-water mark reported by the metrics layer. *)
+
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
 (** Point-to-point datagram of [size] wire bytes. *)
 

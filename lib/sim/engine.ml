@@ -24,6 +24,8 @@ type t = {
   mutable seq : int;
   live : int ref;
   rng : Bft_util.Rng.t;
+  mutable fired : int; (* live thunks actually run *)
+  mutable max_size : int; (* heap occupancy high-water mark *)
 }
 
 let create ?(seed = 1L) () =
@@ -34,6 +36,8 @@ let create ?(seed = 1L) () =
     seq = 0;
     live = ref 0;
     rng = Bft_util.Rng.create seed;
+    fired = 0;
+    max_size = 0;
   }
 
 let now t = t.clock
@@ -90,7 +94,8 @@ let push t ev =
   end;
   Array.unsafe_set t.heap t.size ev;
   sift_up t.heap t.size;
-  t.size <- t.size + 1
+  t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size
 
 let pop t =
   let ev = Array.unsafe_get t.heap 0 in
@@ -131,10 +136,14 @@ let step t =
     if ev.handle.state = `Pending then begin
       ev.handle.state <- `Fired;
       decr t.live;
+      t.fired <- t.fired + 1;
       ev.thunk ()
     end;
     true
   end
+
+let events_fired t = t.fired
+let max_heap_size t = t.max_size
 
 let default_max_events = 100_000_000
 

@@ -36,6 +36,14 @@ val pending_events : t -> int
     Cancelled events awaiting lazy removal from the queue are not
     counted. *)
 
+val events_fired : t -> int
+(** Total live events executed since creation (cancelled events that
+    surface and are skipped are not counted). *)
+
+val max_heap_size : t -> int
+(** Deepest the event queue has ever been, including cancelled events
+    awaiting lazy removal — the scheduler's memory high-water mark. *)
+
 val step : t -> bool
 (** Execute the next event. Returns [false] when the queue is empty.
     A cancelled event surfacing from the queue still advances the clock

@@ -84,7 +84,7 @@ let test_fs_snapshot_roundtrip () =
   ignore (ok (Fs.write fs ~ino:fino ~off:0 ~data:"binary \x00\xff data" ~mtime:5L));
   let snap = Fs.snapshot fs in
   let fs2 = Fs.create () in
-  Fs.restore fs2 snap;
+  Alcotest.(check bool) "restore ok" true (Result.is_ok (Fs.restore fs2 snap));
   Alcotest.(check string) "content preserved" "binary \x00\xff data"
     (ok (Fs.read fs2 ~ino:fino ~off:0 ~len:100));
   Alcotest.(check string) "stable snapshot" snap (Fs.snapshot fs2);
@@ -105,8 +105,7 @@ let prop_fs_snapshot_roundtrip =
         files;
       let snap = Fs.snapshot fs in
       let fs2 = Fs.create () in
-      Fs.restore fs2 snap;
-      String.equal snap (Fs.snapshot fs2))
+      Result.is_ok (Fs.restore fs2 snap) && String.equal snap (Fs.snapshot fs2))
 
 (* --- BFS service wrapper --- *)
 
