@@ -180,6 +180,141 @@ let bench_e2e ~f ~requests =
   { label = Printf.sprintf "e2e_f%d" f; units = float_of_int requests; seconds = dt }
 
 (* ------------------------------------------------------------------ *)
+(* checkpoint cost: incremental paged digests vs flat rebuild          *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweeps state size x write locality over two kv services fed identical
+   operations: a flat one whose checkpoints take the pre-PR path (snapshot
+   string -> [Partition_tree.build ~prev]; the sorted-line format shifts on
+   any write, defeating page reuse) and a paged one whose arena image is
+   page-stable and checkpointed with [Partition_tree.update] over the
+   drained dirty set, digesting O(modified pages). Each iteration also
+   times a CoW [build_pages ~prev] over the same arena pages -- the
+   paged-image-without-dirty-tracking middle ground -- and cross-checks
+   that its root digest matches the incremental tree's. *)
+
+type ckpt_row = {
+  ck_state_bytes : int;
+  ck_pages : int;
+  ck_dirty_frac : float;
+  ck_dirty_pages : float; (* avg pages re-digested per checkpoint *)
+  ck_flat_us : float; (* per checkpoint: flat snapshot + build ~prev *)
+  ck_rebuild_us : float; (* per checkpoint: CoW build_pages over arena *)
+  ck_incr_us : float; (* per checkpoint: pages + drain + update *)
+  ck_flat_mb : float; (* MB digested per checkpoint, flat path *)
+  ck_incr_mb : float; (* MB digested per checkpoint, incremental path *)
+}
+
+let ck_speedup r = r.ck_flat_us /. r.ck_incr_us
+
+let bench_checkpoint ~sizes ~fracs ~iters =
+  let page_size = 4096 and branching = 16 in
+  let vlen = 1024 in
+  List.concat_map
+    (fun total ->
+      let n_keys = max 4 (total / (vlen + 16)) in
+      List.map
+        (fun frac ->
+          let flat_svc = Bft_sm.Kv_service.create () in
+          let paged_svc = Bft_sm.Kv_service.create ~paged:page_size () in
+          let put i c =
+            let op = Printf.sprintf "put key%06d %s" i (String.make vlen c) in
+            ignore (flat_svc.Bft_sm.Service.execute ~client:0 ~op ~nondet:"");
+            ignore (paged_svc.Bft_sm.Service.execute ~client:0 ~op ~nondet:"")
+          in
+          for i = 0 to n_keys - 1 do put i 'a' done;
+          let pg =
+            match paged_svc.Bft_sm.Service.paged with
+            | Some p -> p
+            | None -> assert false
+          in
+          let pages0 = pg.Bft_sm.Service.pg_pages () in
+          ignore (pg.Bft_sm.Service.pg_drain_dirty ());
+          let incr_prev =
+            ref (Partition_tree.build_pages ~seq:0 ~page_size ~branching pages0)
+          in
+          let flat_prev =
+            ref
+              (Partition_tree.build ~seq:0 ~page_size ~branching
+                 (flat_svc.Bft_sm.Service.snapshot ()))
+          in
+          let dirty_keys = max 1 (int_of_float (frac *. float_of_int n_keys)) in
+          let flat_t = ref 0.0 and rebuild_t = ref 0.0 and incr_t = ref 0.0 in
+          let flat_b = ref 0 and incr_b = ref 0 and dirty_n = ref 0 in
+          for it = 1 to iters do
+            (* contiguous write locality: a rotating window of dirty keys *)
+            let base = it * dirty_keys mod n_keys in
+            let c = Char.chr (Char.code 'b' + (it mod 24)) in
+            for k = 0 to dirty_keys - 1 do
+              put ((base + k) mod n_keys) c
+            done;
+            (* don't bill the put loop's garbage to the first timed window *)
+            Gc.major ();
+            (* incremental: drain the dirty set, re-digest only those pages *)
+            let prev_tree = !incr_prev in
+            let t0 = wall () in
+            let pages = pg.Bft_sm.Service.pg_pages () in
+            let dirty = pg.Bft_sm.Service.pg_drain_dirty () in
+            let tree = Partition_tree.update prev_tree ~seq:it ~pages ~dirty in
+            incr_t := !incr_t +. (wall () -. t0);
+            incr_b := !incr_b + Partition_tree.digested_bytes tree;
+            dirty_n := !dirty_n + List.length dirty;
+            incr_prev := tree;
+            (* middle ground: CoW rebuild over the same page-stable image *)
+            let t0 = wall () in
+            let rtree =
+              Partition_tree.build_pages ~prev:prev_tree ~seq:it ~page_size
+                ~branching pages
+            in
+            rebuild_t := !rebuild_t +. (wall () -. t0);
+            (* pre-PR path: flat snapshot string, CoW defeated by shifting *)
+            let t0 = wall () in
+            let ftree =
+              Partition_tree.build ~prev:!flat_prev ~seq:it ~page_size ~branching
+                (flat_svc.Bft_sm.Service.snapshot ())
+            in
+            flat_t := !flat_t +. (wall () -. t0);
+            flat_b := !flat_b + Partition_tree.digested_bytes ftree;
+            flat_prev := ftree;
+            if Partition_tree.root_digest tree <> Partition_tree.root_digest rtree
+            then begin
+              Printf.eprintf
+                "wallclock: checkpoint digest mismatch (size=%d frac=%.2f it=%d)\n"
+                total frac it;
+              exit 2
+            end
+          done;
+          let per x = x /. float_of_int iters in
+          {
+            ck_state_bytes = total;
+            ck_pages = Partition_tree.num_pages !incr_prev;
+            ck_dirty_frac = frac;
+            ck_dirty_pages = per (float_of_int !dirty_n);
+            ck_flat_us = per (!flat_t *. 1.0e6);
+            ck_rebuild_us = per (!rebuild_t *. 1.0e6);
+            ck_incr_us = per (!incr_t *. 1.0e6);
+            ck_flat_mb = per (float_of_int !flat_b /. 1.0e6);
+            ck_incr_mb = per (float_of_int !incr_b /. 1.0e6);
+          })
+        fracs)
+    sizes
+
+let print_checkpoint rows =
+  print_endline
+    "checkpoint cost per interval (flat rebuild vs paged CoW vs incremental):";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %6.2fMB %5d pages %4.0f%% dirty: flat %9.1fus (%6.3fMB) cow %9.1fus \
+         incr %9.1fus (%6.3fMB, %6.1f pages) speedup %6.2fx\n"
+        (float_of_int r.ck_state_bytes /. 1.0e6)
+        r.ck_pages
+        (r.ck_dirty_frac *. 100.0)
+        r.ck_flat_us r.ck_flat_mb r.ck_rebuild_us r.ck_incr_us r.ck_incr_mb
+        r.ck_dirty_pages (ck_speedup r))
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* per-phase virtual-time latency breakdown                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -235,7 +370,7 @@ let print_digests () =
 (* JSON output and the regression gate                                 *)
 (* ------------------------------------------------------------------ *)
 
-let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e ~phases path =
+let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e ~phases ~ckpt path =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
@@ -272,6 +407,23 @@ let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e ~phases pat
            (if i = List.length phases - 1 then "" else ",")))
     phases;
   Buffer.add_string b "  },\n";
+  let best =
+    List.fold_left (fun a r -> max a (ck_speedup r)) 0.0 ckpt
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"checkpoint\": { \"best_speedup\": %.2f, \"rows\": [\n" best);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"state_bytes\": %d, \"pages\": %d, \"dirty_frac\": %.2f, \
+            \"dirty_pages\": %.1f, \"flat_us\": %.1f, \"cow_us\": %.1f, \"incr_us\": \
+            %.1f, \"flat_mb\": %.4f, \"incr_mb\": %.4f, \"speedup\": %.2f }%s\n"
+           r.ck_state_bytes r.ck_pages r.ck_dirty_frac r.ck_dirty_pages r.ck_flat_us
+           r.ck_rebuild_us r.ck_incr_us r.ck_flat_mb r.ck_incr_mb (ck_speedup r)
+           (if i = List.length ckpt - 1 then "" else ",")))
+    ckpt;
+  Buffer.add_string b "  ] },\n";
   Buffer.add_string b "  \"e2e\": [\n";
   List.iteri
     (fun i (f, m) ->
@@ -288,20 +440,20 @@ let emit_json ~mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e ~phases pat
   close_out oc;
   print_string (Buffer.contents b)
 
-(* minimal scan for "seeds_per_sec": <float> in a baseline JSON *)
-let baseline_seeds_per_sec path =
+(* minimal scan for "<key>": <float> in a baseline JSON *)
+let baseline_float path name =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  let key = "\"seeds_per_sec\":" in
+  let key = Printf.sprintf "\"%s\":" name in
   let rec find i =
     if i + String.length key > String.length s then None
     else if String.sub s i (String.length key) = key then Some (i + String.length key)
     else find (i + 1)
   in
   match find 0 with
-  | None -> failwith (Printf.sprintf "no seeds_per_sec in %s" path)
+  | None -> failwith (Printf.sprintf "no %s in %s" name path)
   | Some i ->
       let j = ref i in
       while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\t') do incr j done;
@@ -342,6 +494,15 @@ let () =
     let pipe_uncached = bench_pipeline ~iters:pipe_iters ~cached:false in
     let reqs = if smoke then 30 else 150 in
     let e2e = List.map (fun f -> (f, bench_e2e ~f ~requests:reqs)) [ 1; 2; 3 ] in
+    let ckpt =
+      if smoke then
+        bench_checkpoint ~sizes:[ 262_144; 1_048_576 ] ~fracs:[ 0.01; 0.10 ] ~iters:3
+      else
+        bench_checkpoint
+          ~sizes:[ 262_144; 1_048_576; 4_194_304 ]
+          ~fracs:[ 0.01; 0.05; 0.10; 0.50 ] ~iters:8
+    in
+    print_checkpoint ckpt;
     let reg, merged, phase_e2e = bench_phases () in
     print_phases merged phase_e2e;
     if !metrics_out <> "" then begin
@@ -351,15 +512,30 @@ let () =
       Printf.printf "metrics registry written to %s\n" !metrics_out
     end;
     emit_json ~mode:!mode ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~e2e
-      ~phases:(phase_rows merged phase_e2e) !out;
+      ~phases:(phase_rows merged phase_e2e) ~ckpt !out;
     if !check <> "" then begin
-      let base = baseline_seeds_per_sec !check in
+      let base = baseline_float !check "seeds_per_sec" in
       let cur = rate fuzz in
       Printf.printf "regression gate: current %.3f seeds/sec vs baseline %.3f (floor %.3f)\n"
         cur base (base /. 2.0);
       if cur < base /. 2.0 then begin
         Printf.eprintf
           "wallclock: FAIL — fuzz seeds/sec regressed more than 2x below baseline\n";
+        exit 1
+      end;
+      (* incremental checkpointing must keep a healthy lead over the flat
+         rebuild: compare best sweep speedups, floored at a quarter of the
+         baseline's (smoke sweeps a smaller state grid than the checked-in
+         full-mode run) and never below 2x. *)
+      let ck_base = baseline_float !check "best_speedup" in
+      let ck_cur = List.fold_left (fun a r -> max a (ck_speedup r)) 0.0 ckpt in
+      let floor = Float.max 2.0 (ck_base /. 4.0) in
+      Printf.printf
+        "regression gate: current checkpoint speedup %.2fx vs baseline %.2fx (floor %.2fx)\n"
+        ck_cur ck_base floor;
+      if ck_cur < floor then begin
+        Printf.eprintf
+          "wallclock: FAIL — incremental checkpoint speedup regressed below baseline floor\n";
         exit 1
       end
     end

@@ -22,8 +22,18 @@ type error = [ `Noent | `Exist | `Notdir | `Isdir | `Notempty | `Inval ]
 
 val error_to_string : error -> string
 
-val create : unit -> t
+val create : ?paged:int -> unit -> t
+(** [paged] (a page size, >= 32) opts into a paged snapshot image: every
+    mutation writes the affected inode records through a
+    {!Bft_sm.Paged_image} arena, {!snapshot} returns the arena image, and
+    {!paged_image} exposes it for dirty-aware checkpointing. Snapshots
+    then use the arena format (all replicas must agree on the mode);
+    {!restore} still accepts the flat format and rebuilds the arena
+    canonically. *)
+
 val root : int
+
+val paged_image : t -> Bft_sm.Paged_image.t option
 
 val getattr : t -> ino:int -> (attr, error) result
 val lookup : t -> dir:int -> name:string -> (attr, error) result

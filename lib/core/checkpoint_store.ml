@@ -27,6 +27,19 @@ let take t ~seq ~snapshot =
   insert_tree t tr;
   tr
 
+let take_pages t ~seq ~pages ~dirty =
+  let tr =
+    match latest t with
+    | Some prev
+      when Partition_tree.page_size prev = t.page_size
+           && Partition_tree.branching prev = t.branching
+           && Partition_tree.seq prev < seq ->
+        Partition_tree.update prev ~seq ~pages ~dirty
+    | prev -> Partition_tree.build_pages ?prev ~seq ~page_size:t.page_size ~branching:t.branching pages
+  in
+  insert_tree t tr;
+  tr
+
 let install t tr = insert_tree t tr
 let stable_seq t = t.stable
 let stable_tree t = tree_at t t.stable

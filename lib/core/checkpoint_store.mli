@@ -16,6 +16,15 @@ val take : t -> seq:int -> snapshot:string -> Partition_tree.t
 (** Build (incrementally from the latest tree) and retain the checkpoint
     tree for [seq]. Returns it so the caller can charge digest costs. *)
 
+val take_pages :
+  t -> seq:int -> pages:string array -> dirty:int list -> Partition_tree.t
+(** Like {!take}, but from an already-paged image with a dirty-page set
+    (see [Partition_tree.update]): only dirty pages are re-digested and
+    only their ancestors recomputed when the latest tree matches; falls
+    back to a full copy-on-write build otherwise. [dirty] must
+    over-approximate the pages that changed since the {e latest} held
+    tree. *)
+
 val install : t -> Partition_tree.t -> unit
 (** Adopt a tree obtained through state transfer. *)
 

@@ -22,7 +22,44 @@ val build : ?prev:t -> seq:int -> page_size:int -> branching:int -> string -> t
 (** [build ?prev ~seq ~page_size ~branching snapshot] constructs the tree
     for the checkpoint with sequence number [seq]. When [prev] is given and
     has the same geometry, unchanged pages share their records (and their
-    [lm] and digests) with [prev] — the copy-on-write of the paper. *)
+    [lm] and digests) with [prev] — the copy-on-write of the paper. Cost is
+    O(total state): every page is byte-compared, every interior node
+    recomputed. *)
+
+val build_pages :
+  ?prev:t -> seq:int -> page_size:int -> branching:int -> string array -> t
+(** Like {!build}, but from an already-paged image: every page except the
+    last must be exactly [page_size] bytes and the last non-empty (unless
+    it is the only page), i.e. exactly what splitting the concatenation
+    would produce — the invariant state transfer relies on when it re-splits
+    a reassembled snapshot. Raises [Invalid_argument] otherwise. *)
+
+val of_pages : seq:int -> page_size:int -> branching:int -> page array -> t
+(** Reassemble a tree from verified page records, keeping each page's own
+    [lm] and digest and recomputing only the interior nodes. State transfer
+    uses this to rebuild the target checkpoint from fetched/locally-current
+    pages: their [lm]s generally differ (only pages written since earlier
+    checkpoints carry the target sequence number), so a from-scratch
+    {!build} — which stamps every page with [seq] — would not reproduce the
+    sender's root digest. [digested_bytes] of the result is the total page
+    bytes (the caller verified a digest over every byte). Page shape rules
+    as in {!build_pages}. *)
+
+val update : t -> seq:int -> pages:string array -> dirty:int list -> t
+(** [update prev ~seq ~pages ~dirty] builds the checkpoint tree for [seq]
+    assuming [pages] differs from [prev] only at the indices listed in
+    [dirty] (callers must over-approximate: a page not listed is trusted to
+    be unchanged and is not compared). Dirty pages whose bytes did in fact
+    not change keep their previous record and [lm]. Only dirty pages are
+    re-digested and only their ancestor interior nodes recomputed, each by
+    AdHash subtract-old/add-new on the affected child digests — no fold
+    over clean siblings — so cost is O(|dirty| * depth), not O(state).
+    Untouched page records, node records and the result's digests are
+    structurally shared with [prev] and byte-identical to a from-scratch
+    {!build} of the same image. Falls back to [build_pages ~prev] when the
+    page count changed or [seq <= seq prev]. Page shape rules and
+    out-of-range dirty indices raise [Invalid_argument] as in
+    {!build_pages}. *)
 
 val seq : t -> int
 val root_digest : t -> digest
@@ -35,6 +72,9 @@ val page : t -> int -> page
 
 val node_info : t -> level:int -> index:int -> int * digest
 (** [(lm, digest)] of an interior node or page. *)
+
+val level_width : t -> int -> int
+(** Number of nodes at a level (pages for the deepest level). *)
 
 val children : t -> level:int -> index:int -> (int * int * digest) list
 (** [(child_index, lm, digest)] list for an interior partition — the
@@ -49,6 +89,10 @@ val snapshot : t -> string
 val digested_bytes : t -> int
 (** Bytes actually re-hashed when this tree was built (for CPU-cost
     accounting: unchanged pages cost nothing). *)
+
+val pages_modified_at : t -> seq:int -> int
+(** Number of pages whose [lm] equals [seq] — the write set of the
+    checkpoint taken at [seq] (metrics only; O(pages)). *)
 
 val page_size : t -> int
 val branching : t -> int

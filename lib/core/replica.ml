@@ -86,6 +86,13 @@ type t = {
      an in-flight request must not be assigned a second sequence number *)
   assigned : (string, unit) Hashtbl.t;
   last_reply : (int, int64 * string * int) Hashtbl.t; (* client -> t, result, view *)
+  (* client ids present in [last_reply], kept sorted ascending so snapshot
+     encoding streams the cache without a per-checkpoint sort *)
+  mutable reply_clients : int list;
+  (* sequence number of the tree in [ckpts] that the paged service's dirty
+     set is relative to; [None] (or a mismatch with the latest tree) forces
+     the next paged checkpoint to byte-compare every page *)
+  mutable paged_sync : int option;
   mutable deferred_pps : pre_prepare list;
   mutable pending_ro : request list;
   (* checkpoints whose CHECKPOINT message is deferred until commit *)
@@ -237,42 +244,139 @@ let verify_token t ~claimed body token =
    snapshot val, last-rep and last-rep-t together, Section 2.4.4).       *)
 (* ------------------------------------------------------------------ *)
 
+(* Record the reply for a client, keeping [reply_clients] sorted. *)
+let set_last_reply t client entry =
+  if not (Hashtbl.mem t.last_reply client) then begin
+    let rec ins = function
+      | c :: tl when c < client -> c :: ins tl
+      | l -> client :: l
+    in
+    t.reply_clients <- ins t.reply_clients
+  end;
+  Hashtbl.replace t.last_reply client entry
+
+(* Stream the reply cache into [b] in ascending client order: one
+   "client ts view len\nresult" record per client, written directly
+   (no per-entry [Printf.sprintf], no per-checkpoint sort). *)
+let encode_reply_cache t b =
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt t.last_reply c with
+      | None -> ()
+      | Some (ts, res, v) ->
+          Buffer.add_string b (string_of_int c);
+          Buffer.add_char b ' ';
+          Buffer.add_string b (Int64.to_string ts);
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int v);
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int (String.length res));
+          Buffer.add_char b '\n';
+          Buffer.add_string b res)
+    t.reply_clients
+
 let full_snapshot t =
   let b = Buffer.create 256 in
   let svc = t.d.service.Bft_sm.Service.snapshot () in
   Buffer.add_string b (string_of_int (String.length svc));
   Buffer.add_char b '\n';
   Buffer.add_string b svc;
-  let entries =
-    Hashtbl.fold (fun c (ts, res, v) acc -> (c, ts, res, v) :: acc) t.last_reply []
-    |> List.sort compare
-  in
-  List.iter
-    (fun (c, ts, res, v) ->
-      Buffer.add_string b (Printf.sprintf "%d %Ld %d %d\n%s" c ts v (String.length res) res))
-    entries;
+  encode_reply_cache t b;
   Buffer.contents b
 
-let restore_snapshot t s =
-  let nl = String.index s '\n' in
-  let svc_len = int_of_string (String.sub s 0 nl) in
-  let svc = String.sub s (nl + 1) svc_len in
-  t.d.service.Bft_sm.Service.restore svc;
-  Hashtbl.reset t.last_reply;
-  let pos = ref (nl + 1 + svc_len) in
+(* Parse the reply-cache region [s.(pos..len-1)]; every record is validated
+   before any replica state is touched. *)
+let parse_reply_cache s ~pos ~len =
+  let rec go pos acc =
+    if pos >= len then Ok (List.rev acc)
+    else
+      match String.index_from_opt s pos '\n' with
+      | None -> Error "unterminated reply-cache header"
+      | Some nl -> (
+          match String.split_on_char ' ' (String.sub s pos (nl - pos)) with
+          | [ c; ts; v; rlen ] -> (
+              match
+                ( int_of_string_opt c,
+                  Int64.of_string_opt ts,
+                  int_of_string_opt v,
+                  int_of_string_opt rlen )
+              with
+              | Some c, Some ts, Some v, Some rlen when rlen >= 0 && nl + 1 + rlen <= len ->
+                  let res = String.sub s (nl + 1) rlen in
+                  go (nl + 1 + rlen) ((c, (ts, res, v)) :: acc)
+              | _ -> Error "truncated or malformed reply-cache record")
+          | _ -> Error "malformed reply-cache header")
+  in
+  go pos []
+
+let paged_magic = "PAGED "
+
+(* Split a snapshot string into (service region, reply-cache parse span).
+   Flat layout: "<svc_len>\n<svc><reply records>". Paged layout (produced
+   by paged checkpoints, page-aligned): one header page
+   "PAGED <svc_len> <reply_len>\n" zero-padded to [page_size], then the
+   service pages, then the reply records. *)
+let split_snapshot t s =
   let len = String.length s in
-  while !pos < len do
-    let nl = String.index_from s !pos '\n' in
-    let header = String.sub s !pos (nl - !pos) in
-    (match String.split_on_char ' ' header with
-    | [ c; ts; v; rlen ] ->
-        let rlen = int_of_string rlen in
-        let res = String.sub s (nl + 1) rlen in
-        Hashtbl.replace t.last_reply (int_of_string c)
-          (Int64.of_string ts, res, int_of_string v);
-        pos := nl + 1 + rlen
-    | _ -> pos := len)
-  done
+  let flat () =
+    match String.index_opt s '\n' with
+    | None -> Error "missing snapshot header"
+    | Some nl -> (
+        match int_of_string_opt (String.sub s 0 nl) with
+        | Some svc_len when svc_len >= 0 && nl + 1 + svc_len <= len ->
+            Ok (String.sub s (nl + 1) svc_len, nl + 1 + svc_len)
+        | _ -> Error "bad service length in snapshot header")
+  in
+  if not (String.length s >= String.length paged_magic
+          && String.equal (String.sub s 0 (String.length paged_magic)) paged_magic)
+  then flat ()
+  else
+    let p = t.d.page_size in
+    if len < p then Error "bad paged snapshot header"
+    else
+    match String.index_opt s '\n' with
+    | Some nl when nl < p -> (
+        let ok_pad = ref true in
+        for i = nl + 1 to p - 1 do
+          if s.[i] <> '\000' then ok_pad := false
+        done;
+        match
+          String.split_on_char ' '
+            (String.sub s (String.length paged_magic) (nl - String.length paged_magic))
+        with
+        | [ svc_len; reply_len ] -> (
+            match (int_of_string_opt svc_len, int_of_string_opt reply_len) with
+            | Some svc_len, Some reply_len
+              when !ok_pad && svc_len >= 0 && reply_len >= 0
+                   && p + svc_len + reply_len = len ->
+                Ok (String.sub s p svc_len, p + svc_len)
+            | _ -> Error "bad paged snapshot header")
+        | _ -> Error "bad paged snapshot header")
+    | _ -> Error "bad paged snapshot header"
+
+(* Install a snapshot. All parsing and validation happens before any state
+   is mutated: a malformed snapshot returns [Error] and leaves the service,
+   the reply cache and [paged_sync] untouched. *)
+let restore_snapshot t s =
+  let reject reason =
+    if Obs.enabled t.obs then Obs.snapshot_rejected t.obs ~reason;
+    L.debug (fun m -> m "replica %d: snapshot rejected: %s" t.id reason);
+    Error reason
+  in
+  match split_snapshot t s with
+  | Error reason -> reject reason
+  | Ok (svc, reply_pos) -> (
+      match parse_reply_cache s ~pos:reply_pos ~len:(String.length s) with
+      | Error reason -> reject reason
+      | Ok entries -> (
+          match t.d.service.Bft_sm.Service.restore svc with
+          | () ->
+              Hashtbl.reset t.last_reply;
+              List.iter (fun (c, e) -> Hashtbl.replace t.last_reply c e) entries;
+              t.reply_clients <- List.sort_uniq compare (List.map fst entries);
+              t.paged_sync <- None;
+              Ok ()
+          | exception _ -> reject "service refused snapshot"))
 
 (* ------------------------------------------------------------------ *)
 (* Requests and batches                                                *)
@@ -366,12 +470,70 @@ let clear_waiting t digest =
 (* Checkpoints and garbage collection                                   *)
 (* ------------------------------------------------------------------ *)
 
-let take_checkpoint t seq =
-  let snap = full_snapshot t in
+(* Checkpoint from the paged service image: header page + service pages +
+   reply-cache pages, re-digesting only pages the service reported dirty
+   (plus the always-churning header and reply region). Only safe when the
+   drained dirty set is relative to the latest held tree ([paged_sync]);
+   otherwise every page is passed as dirty, which degrades to the
+   byte-comparing copy-on-write build. *)
+let take_checkpoint_paged t seq (pg : Bft_sm.Service.paged) =
+  let p = t.d.page_size in
+  let svc_pages = pg.Bft_sm.Service.pg_pages () in
+  let svc_dirty = pg.Bft_sm.Service.pg_drain_dirty () in
+  let n_svc = Array.length svc_pages in
+  let rb = Buffer.create 256 in
+  encode_reply_cache t rb;
+  let reply = Buffer.contents rb in
+  let reply_len = String.length reply in
+  let header_line = Printf.sprintf "PAGED %d %d\n" (n_svc * p) reply_len in
+  let header = header_line ^ String.make (p - String.length header_line) '\000' in
+  let n_reply = (reply_len + p - 1) / p in
+  let pages = Array.make (1 + n_svc + n_reply) header in
+  Array.blit svc_pages 0 pages 1 n_svc;
+  for i = 0 to n_reply - 1 do
+    let off = i * p in
+    pages.(1 + n_svc + i) <- String.sub reply off (min p (reply_len - off))
+  done;
+  let in_sync =
+    match (t.paged_sync, Checkpoint_store.latest t.ckpts) with
+    | Some s, Some prev -> Partition_tree.seq prev = s
+    | _ -> false
+  in
+  let dirty =
+    if not in_sync then List.init (Array.length pages) Fun.id
+    else
+      0
+      :: (List.map (fun i -> i + 1) svc_dirty
+          @ List.init n_reply (fun i -> 1 + n_svc + i))
+  in
   charge t (Costs.digest_us t.costs 0);
-  let tree = Checkpoint_store.take t.ckpts ~seq ~snapshot:snap in
+  let tree = Checkpoint_store.take_pages t.ckpts ~seq ~pages ~dirty in
   charge t (Costs.digest_us t.costs (Partition_tree.digested_bytes tree));
+  t.paged_sync <- Some seq;
+  tree
+
+let take_checkpoint t seq =
+  let tree =
+    match t.d.service.Bft_sm.Service.paged with
+    | Some pg
+      when pg.Bft_sm.Service.pg_page_size = t.d.page_size
+           && String.length (Printf.sprintf "PAGED %d %d\n" max_int max_int)
+              <= t.d.page_size ->
+        take_checkpoint_paged t seq pg
+    | _ ->
+        let snap = full_snapshot t in
+        charge t (Costs.digest_us t.costs 0);
+        let tree = Checkpoint_store.take t.ckpts ~seq ~snapshot:snap in
+        charge t (Costs.digest_us t.costs (Partition_tree.digested_bytes tree));
+        tree
+  in
   t.counters.n_checkpoints <- t.counters.n_checkpoints + 1;
+  if Obs.enabled t.obs then begin
+    let dirty = Partition_tree.pages_modified_at tree ~seq in
+    Obs.checkpoint_taken t.obs ~now:(now t) ~seq
+      ~bytes:(Partition_tree.digested_bytes tree)
+      ~dirty ~clean:(Partition_tree.num_pages tree - dirty)
+  end;
   tree
 
 let announce_checkpoint t seq =
@@ -476,7 +638,7 @@ let execute_batch t n ~tentative =
                 t.counters.n_executed <- t.counters.n_executed + 1;
                 t.history <- (n, req.client, req.op, result) :: t.history;
                 wave := (req.client, req.op, result) :: !wave;
-                Hashtbl.replace t.last_reply req.client (req.timestamp, result, t.view);
+                set_last_reply t req.client (req.timestamp, result, t.view);
                 clear_waiting t (Wire.request_digest req);
                 (* reply: full result from the designated replier or for small
                    results; digest otherwise (Section 5.1.1) *)
@@ -1027,10 +1189,12 @@ let start_view_change t new_view =
       match List.rev candidates with
       | (s, _) :: _ -> (
           match Checkpoint_store.tree_at t.ckpts s with
-          | Some tree ->
-              restore_snapshot t (Partition_tree.snapshot tree);
-              t.last_exec <- s;
-              t.committed_upto <- min t.committed_upto s
+          | Some tree -> (
+              match restore_snapshot t (Partition_tree.snapshot tree) with
+              | Ok () ->
+                  t.last_exec <- s;
+                  t.committed_upto <- min t.committed_upto s
+              | Error _ -> ())
           | None -> ())
       | [] -> ()
     end;
@@ -1302,33 +1466,47 @@ let check_transfer_done t =
   | None -> ()
   | Some tx ->
       if Hashtbl.length tx.tx_pending = 0 && tx.tx_num_pages > 0 then begin
-        (* assemble the snapshot: fetched pages where we fetched, local pages
-           where they were proven current *)
+        (* assemble the page records: fetched pages where we fetched, local
+           pages where they were proven current — each keeps its own lm, so
+           the rebuilt tree reproduces the sender's digests even when clean
+           pages predate the target checkpoint *)
         let ok = ref true in
-        let buf = Buffer.create 4096 in
+        let acc = ref [] in
         for i = 0 to tx.tx_num_pages - 1 do
           match Hashtbl.find_opt tx.tx_pages i with
-          | Some p -> Buffer.add_string buf p.Partition_tree.data
+          | Some p -> acc := p :: !acc
           | None ->
               if Hashtbl.mem tx.tx_ok_pages i then begin
                 match local_tree t with
-                | Some tree -> Buffer.add_string buf (Partition_tree.page tree i).Partition_tree.data
+                | Some tree -> acc := Partition_tree.page tree i :: !acc
                 | None -> ok := false
               end
               else ok := false
         done;
         if !ok then begin
-          let snapshot = Buffer.contents buf in
-          let tree =
-            Partition_tree.build ~seq:tx.tx_target ~page_size:t.d.page_size
-              ~branching:t.d.branching snapshot
-          in
+          let pages = Array.of_list (List.rev !acc) in
+          match
+            Partition_tree.of_pages ~seq:tx.tx_target ~page_size:t.d.page_size
+              ~branching:t.d.branching pages
+          with
+          | exception Invalid_argument _ ->
+              (* fetched pages do not form a valid image: start over *)
+              t.transfer <- None;
+              start_transfer t ~target:tx.tx_target ~root_digest:tx.tx_root_digest
+          | tree ->
           charge t (Costs.digest_us t.costs (Partition_tree.digested_bytes tree));
           if String.equal (Partition_tree.root_digest tree) tx.tx_root_digest then begin
+            let snapshot = Partition_tree.snapshot tree in
             (match tx.tx_timer with Some h -> Engine.cancel h | None -> ());
             t.transfer <- None;
             Checkpoint_store.install t.ckpts tree;
-            restore_snapshot t snapshot;
+            (match restore_snapshot t snapshot with
+            | Ok () -> ()
+            | Error _ ->
+                (* quorum-certified bytes our own decoder rejects: the local
+                   state stays behind, but the installed tree is valid and
+                   the protocol continues; recovery will retry *)
+                ());
             t.last_exec <- tx.tx_target;
             t.committed_upto <- max t.committed_upto tx.tx_target;
             t.seqno <- max t.seqno tx.tx_target;
@@ -1521,18 +1699,22 @@ let enter_new_view t (nv : new_view) =
     match List.rev candidates with
     | (s, _) :: _ -> (
         match Checkpoint_store.tree_at t.ckpts s with
-        | Some tree ->
-            restore_snapshot t (Partition_tree.snapshot tree);
-            t.last_exec <- s;
-            t.committed_upto <- s
+        | Some tree -> (
+            match restore_snapshot t (Partition_tree.snapshot tree) with
+            | Ok () ->
+                t.last_exec <- s;
+                t.committed_upto <- s
+            | Error _ -> ())
         | None -> ())
     | [] ->
         if have_start then begin
           match Checkpoint_store.tree_at t.ckpts nv.nv_start with
-          | Some tree ->
-              restore_snapshot t (Partition_tree.snapshot tree);
-              t.last_exec <- nv.nv_start;
-              t.committed_upto <- nv.nv_start
+          | Some tree -> (
+              match restore_snapshot t (Partition_tree.snapshot tree) with
+              | Ok () ->
+                  t.last_exec <- nv.nv_start;
+                  t.committed_upto <- nv.nv_start
+              | Error _ -> ())
           | None -> ()
         end
   end;
@@ -1540,10 +1722,12 @@ let enter_new_view t (nv : new_view) =
     start_transfer t ~target:nv.nv_start ~root_digest:nv.nv_start_digest;
   if t.last_exec < nv.nv_start && have_start then begin
     (match Checkpoint_store.tree_at t.ckpts nv.nv_start with
-    | Some tree ->
-        restore_snapshot t (Partition_tree.snapshot tree);
-        t.last_exec <- nv.nv_start;
-        t.committed_upto <- max t.committed_upto nv.nv_start
+    | Some tree -> (
+        match restore_snapshot t (Partition_tree.snapshot tree) with
+        | Ok () ->
+            t.last_exec <- nv.nv_start;
+            t.committed_upto <- max t.committed_upto nv.nv_start
+        | Error _ -> ())
     | None -> ())
   end;
   if Log.low_mark t.log < nv.nv_start then Log.truncate t.log nv.nv_start;
@@ -2154,6 +2338,8 @@ let create ?(obs = Obs.null) d ~id =
       queued = Hashtbl.create 16;
       assigned = Hashtbl.create 16;
       last_reply = Hashtbl.create 16;
+      reply_clients = [];
+      paged_sync = None;
       deferred_pps = [];
       pending_ro = [];
       pending_ckpt_announce = [];
@@ -2258,7 +2444,9 @@ let corrupt_state t =
   let tree =
     Partition_tree.build ~seq:stable ~page_size:t.d.page_size ~branching:t.d.branching snap
   in
-  Checkpoint_store.install t.ckpts tree
+  Checkpoint_store.install t.ckpts tree;
+  (* the installed tree no longer matches the service's dirty accounting *)
+  t.paged_sync <- None
 
 let force_recovery t = begin_recovery t
 

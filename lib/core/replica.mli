@@ -63,6 +63,17 @@ val is_recovering : t -> bool
 val service_state : t -> string
 (** Current service snapshot (test observation helper). *)
 
+val full_snapshot : t -> string
+(** The flat checkpoint image: service snapshot plus reply cache
+    (Section 2.4.4). Paged checkpoints use a page-aligned layout of the
+    same content; {!restore_snapshot} accepts both. *)
+
+val restore_snapshot : t -> string -> (unit, string) result
+(** Install a checkpoint image (service state + reply cache). All header
+    and reply-cache records are validated before anything is mutated: a
+    malformed snapshot returns [Error reason], counts as a rejected
+    snapshot in the metrics, and leaves the replica state untouched. *)
+
 val executed_ops : t -> (int * int * string * string) list
 (** History of executed operations as [(seq, client, op, result)], oldest
     first — the observable commit order used by linearizability checks.

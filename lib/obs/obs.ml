@@ -38,6 +38,7 @@ type event =
   | Recovery_phase of { phase : string }
   | Snapshot_rejected of { reason : string }
   | Invoke_timeout of { op : string }
+  | Checkpoint_taken of { seq : int; bytes : int; dirty : int; clean : int }
 
 type entry = { at : int64; ev : event }
 
@@ -52,11 +53,14 @@ type t = {
      interval ending at phase i (phase_name i) *)
   phase_hists : Hist.t array;
   e2e : Hist.t;
+  ckpt_bytes : Hist.t; (* bytes digested per checkpoint (values are bytes, not us) *)
   arrivals : (string, int64) Hashtbl.t; (* request digest -> arrival time *)
   marks : (int, int64 array) Hashtbl.t; (* seq -> per-phase first-transition times *)
   mutable n_retransmissions : int;
   mutable n_snapshot_rejected : int;
   mutable n_timeouts : int;
+  mutable n_ckpt_dirty_pages : int;
+  mutable n_ckpt_clean_pages : int;
 }
 
 let make ~enabled ~node ~capacity =
@@ -66,11 +70,14 @@ let make ~enabled ~node ~capacity =
     ring = Ring.create capacity;
     phase_hists = Array.init num_phases (fun _ -> Hist.create ());
     e2e = Hist.create ();
+    ckpt_bytes = Hist.create ();
     arrivals = Hashtbl.create (if enabled then 64 else 1);
     marks = Hashtbl.create (if enabled then 64 else 1);
     n_retransmissions = 0;
     n_snapshot_rejected = 0;
     n_timeouts = 0;
+    n_ckpt_dirty_pages = 0;
+    n_ckpt_clean_pages = 0;
   }
 
 let null = make ~enabled:false ~node:(-1) ~capacity:1
@@ -182,6 +189,14 @@ let snapshot_rejected t ~reason =
     record t ~at:(-1L) (Snapshot_rejected { reason })
   end
 
+let checkpoint_taken t ~now ~seq ~bytes ~dirty ~clean =
+  if t.t_enabled then begin
+    Hist.add t.ckpt_bytes (float_of_int bytes);
+    t.n_ckpt_dirty_pages <- t.n_ckpt_dirty_pages + dirty;
+    t.n_ckpt_clean_pages <- t.n_ckpt_clean_pages + clean;
+    record t ~at:now (Checkpoint_taken { seq; bytes; dirty; clean })
+  end
+
 let invoke_timeout t ~now ~op =
   if t.t_enabled then begin
     t.n_timeouts <- t.n_timeouts + 1;
@@ -236,6 +251,9 @@ let event_to_string = function
   | Recovery_phase { phase } -> Printf.sprintf "recovery %s" phase
   | Snapshot_rejected { reason } -> Printf.sprintf "snapshot-rejected: %s" reason
   | Invoke_timeout { op } -> Printf.sprintf "invoke-timeout op=%S" op
+  | Checkpoint_taken { seq; bytes; dirty; clean } ->
+      Printf.sprintf "checkpoint-taken n=%d digested=%dB dirty=%d clean=%d" seq bytes dirty
+        clean
 
 let entry_to_string e =
   if Int64.equal e.at (-1L) then Printf.sprintf "[        --] %s" (event_to_string e.ev)
@@ -243,9 +261,12 @@ let entry_to_string e =
 
 let phase_hist t i = t.phase_hists.(i)
 let e2e_hist t = t.e2e
+let checkpoint_bytes_hist t = t.ckpt_bytes
 let retransmissions t = t.n_retransmissions
 let snapshot_rejections t = t.n_snapshot_rejected
 let timeouts t = t.n_timeouts
+let checkpoint_dirty_pages t = t.n_ckpt_dirty_pages
+let checkpoint_clean_pages t = t.n_ckpt_clean_pages
 
 let hist_line name h =
   Printf.sprintf "  %-20s count=%-6d mean=%8.1fus p50=%8.1fus p99=%8.1fus max=%8.1fus"
@@ -258,6 +279,14 @@ let summary_lines t =
   in
   phases
   @ [ hist_line "request->reply" t.e2e ]
+  @ [
+      Printf.sprintf
+        "  %-20s count=%-6d mean=%8.0fB  p99=%8.0fB  max=%8.0fB  dirty=%d clean=%d"
+        "checkpoint-digest"
+        (Hist.count t.ckpt_bytes) (Hist.mean_us t.ckpt_bytes)
+        (Hist.percentile_us t.ckpt_bytes 0.99) (Hist.max_us t.ckpt_bytes)
+        t.n_ckpt_dirty_pages t.n_ckpt_clean_pages;
+    ]
   @ [
       Printf.sprintf "  retransmissions=%d timeouts=%d snapshot_rejected=%d events=%d"
         t.n_retransmissions t.n_timeouts t.n_snapshot_rejected (Ring.total t.ring);
@@ -279,6 +308,13 @@ let to_json t =
          (hist_json t.phase_hists.(i)))
   done;
   Buffer.add_string b (Printf.sprintf " }, \"e2e\": %s" (hist_json t.e2e));
+  Buffer.add_string b
+    (Printf.sprintf
+       ", \"checkpoint\": { \"count\": %d, \"mean_bytes\": %.0f, \"p99_bytes\": %.0f, \
+        \"max_bytes\": %.0f, \"dirty_pages\": %d, \"clean_pages\": %d }"
+       (Hist.count t.ckpt_bytes) (Hist.mean_us t.ckpt_bytes)
+       (Hist.percentile_us t.ckpt_bytes 0.99) (Hist.max_us t.ckpt_bytes)
+       t.n_ckpt_dirty_pages t.n_ckpt_clean_pages);
   Buffer.add_string b
     (Printf.sprintf
        ", \"retransmissions\": %d, \"timeouts\": %d, \"snapshot_rejected\": %d, \

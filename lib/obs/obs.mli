@@ -44,6 +44,7 @@ type event =
   | Recovery_phase of { phase : string }
   | Snapshot_rejected of { reason : string }
   | Invoke_timeout of { op : string }
+  | Checkpoint_taken of { seq : int; bytes : int; dirty : int; clean : int }
 
 type entry = { at : int64; ev : event }
 (** [at] is virtual nanoseconds; [-1L] for events recorded outside the
@@ -95,6 +96,12 @@ val recovery_phase : t -> now:int64 -> string -> unit
 val snapshot_rejected : t -> reason:string -> unit
 val invoke_timeout : t -> now:int64 -> op:string -> unit
 
+val checkpoint_taken :
+  t -> now:int64 -> seq:int -> bytes:int -> dirty:int -> clean:int -> unit
+(** One checkpoint build: [bytes] actually digested, [dirty] pages
+    re-hashed vs [clean] pages reused from the previous tree — the
+    incremental-checkpointing effectiveness metric (Section 5.3). *)
+
 (** {2 Reading} *)
 
 val events : ?last:int -> t -> entry list
@@ -107,9 +114,18 @@ val phase_hist : t -> int -> Hist.t
 
 val e2e_hist : t -> Hist.t
 
+val checkpoint_bytes_hist : t -> Hist.t
+(** Bytes digested per checkpoint. The histogram machinery is shared with
+    the latency histograms, so the [_us] accessors on it read as plain
+    bytes. *)
+
 val retransmissions : t -> int
 val snapshot_rejections : t -> int
 val timeouts : t -> int
+
+val checkpoint_dirty_pages : t -> int
+val checkpoint_clean_pages : t -> int
+(** Cumulative page counts across all checkpoints taken. *)
 
 val summary_lines : t -> string list
 (** Human-readable per-node metrics block (phase table + counters). *)

@@ -28,6 +28,7 @@ let create () =
     exec_cost_us = (fun _ -> 0.5);
     snapshot = (fun () -> string_of_int !v);
     restore = (fun s -> v := int_of_string s);
+    paged = None;
   }
 
 let value (s : Service.t) = int_of_string (s.execute ~client:(-1) ~op:"get" ~nondet:"")

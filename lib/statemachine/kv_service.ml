@@ -53,8 +53,32 @@ let mutating op =
   | verb :: _ -> not (verb = "get" || verb = "size")
   | [] -> true
 
-let create ?restrict () =
+(* Paged-arena record layout: one record per binding under key "B"<k>,
+   plus the ACL under "A" ("open", "acl", or "acl 1,2,..."). *)
+
+let acl_payload = function
+  | None -> "open"
+  | Some [] -> "acl"
+  | Some l -> "acl " ^ String.concat "," (List.map string_of_int (List.sort compare l))
+
+let acl_of_payload s =
+  if s = "open" then Some None
+  else if s = "acl" then Some (Some [])
+  else if String.length s > 4 && String.sub s 0 4 = "acl " then
+    let parts = String.split_on_char ',' (String.sub s 4 (String.length s - 4)) in
+    let ids = List.filter_map int_of_string_opt parts in
+    if List.length ids = List.length parts then Some (Some ids) else None
+  else None
+
+let create ?restrict ?paged () =
   let st = { table = Hashtbl.create 64; acl = restrict } in
+  let arena = Option.map (fun page_size -> Paged_image.create ~page_size ()) paged in
+  let sync_acl () =
+    Option.iter (fun a -> Paged_image.set a ~key:"A" ~value:(acl_payload st.acl)) arena
+  in
+  let sync_put k v = Option.iter (fun a -> Paged_image.set a ~key:("B" ^ k) ~value:v) arena in
+  let sync_del k = Option.iter (fun a -> ignore (Paged_image.remove a ~key:("B" ^ k))) arena in
+  sync_acl ();
   let has_access ~client op =
     if client = admin_client then true
     else if not (mutating op) then true
@@ -66,12 +90,14 @@ let create ?restrict () =
       match String.split_on_char ' ' op with
       | [ "put"; k; v ] ->
           Hashtbl.replace st.table k v;
+          sync_put k v;
           "ok"
       | [ "get"; k ] -> (
           match Hashtbl.find_opt st.table k with Some v -> v | None -> "ENOENT")
       | [ "del"; k ] ->
           if Hashtbl.mem st.table k then begin
             Hashtbl.remove st.table k;
+            sync_del k;
             "ok"
           end
           else "ENOENT"
@@ -80,10 +106,12 @@ let create ?restrict () =
           | None -> "ENOENT"
           | Some v when v = old_v ->
               Hashtbl.replace st.table k new_v;
+              sync_put k new_v;
               "ok"
           | Some _ -> "EAGAIN")
       | [ "touch"; k ] ->
           Hashtbl.replace st.table k nondet;
+          sync_put k nondet;
           nondet
       | [ "grant"; c ] -> (
           if client <> admin_client then Service.denied
@@ -94,6 +122,7 @@ let create ?restrict () =
                 (match st.acl with
                 | None -> st.acl <- Some [ c ]
                 | Some l -> if not (List.mem c l) then st.acl <- Some (c :: l));
+                sync_acl ();
                 "ok")
       | [ "revoke"; c ] -> (
           if client <> admin_client then Service.denied
@@ -104,9 +133,36 @@ let create ?restrict () =
                 (match st.acl with
                 | None -> st.acl <- Some []
                 | Some l -> st.acl <- Some (List.filter (fun x -> x <> c) l));
+                sync_acl ();
                 "ok")
       | [ "size" ] -> string_of_int (Hashtbl.length st.table)
       | _ -> Service.invalid
+  in
+  (* Arena-image restore: validate every record before committing, so a
+     malformed snapshot leaves both the arena and the table untouched. *)
+  let restore_paged a s =
+    match Paged_image.decode ~page_size:(Paged_image.page_size a) s with
+    | Error _ -> ()
+    | Ok records ->
+        let valid =
+          List.for_all
+            (fun (k, v) ->
+              if String.equal k "A" then acl_of_payload v <> None
+              else String.length k > 1 && k.[0] = 'B')
+            records
+          && List.exists (fun (k, _) -> String.equal k "A") records
+        in
+        if valid then
+          match Paged_image.restore a s with
+          | Error _ -> ()
+          | Ok records ->
+              Hashtbl.reset st.table;
+              List.iter
+                (fun (k, v) ->
+                  if String.equal k "A" then
+                    st.acl <- Option.get (acl_of_payload v)
+                  else Hashtbl.replace st.table (String.sub k 1 (String.length k - 1)) v)
+                records
   in
   {
     Service.name = "kv";
@@ -114,6 +170,13 @@ let create ?restrict () =
     is_read_only = (fun op -> not (mutating op));
     has_access;
     exec_cost_us = (fun op -> 1.0 +. (0.001 *. float_of_int (String.length op)));
-    snapshot = (fun () -> encode_snapshot st);
-    restore = (fun s -> decode_snapshot st s);
+    snapshot =
+      (match arena with
+      | None -> fun () -> encode_snapshot st
+      | Some a -> fun () -> Paged_image.image a);
+    restore =
+      (match arena with
+      | None -> fun s -> decode_snapshot st s
+      | Some a -> fun s -> restore_paged a s);
+    paged = Option.map Service.paged_of_image arena;
   }

@@ -29,4 +29,5 @@ let create ?(exec_cost_us = 0.0) () =
     exec_cost_us = (fun _ -> exec_cost_us);
     snapshot = (fun () -> string_of_int !count);
     restore = (fun s -> count := int_of_string s);
+    paged = None;
   }

@@ -1,3 +1,9 @@
+type paged = {
+  pg_page_size : int;
+  pg_pages : unit -> string array;
+  pg_drain_dirty : unit -> int list;
+}
+
 type t = {
   name : string;
   execute : client:int -> op:string -> nondet:string -> string;
@@ -6,7 +12,15 @@ type t = {
   exec_cost_us : string -> float;
   snapshot : unit -> string;
   restore : string -> unit;
+  paged : paged option;
 }
 
 let denied = "EACCES"
 let invalid = "EINVAL"
+
+let paged_of_image img =
+  {
+    pg_page_size = Paged_image.page_size img;
+    pg_pages = (fun () -> Paged_image.pages img);
+    pg_drain_dirty = (fun () -> Paged_image.drain_dirty img);
+  }

@@ -12,6 +12,25 @@
     and state transfer; they must satisfy [restore (snapshot ()) = identity]
     on observable behaviour. *)
 
+type paged = {
+  pg_page_size : int;
+  pg_pages : unit -> string array;
+      (** The snapshot image as pages: every page exactly [pg_page_size]
+          bytes, and the concatenation equals [snapshot ()]. Unchanged
+          pages must be returned as physically shared strings across
+          calls. *)
+  pg_drain_dirty : unit -> int list;
+      (** Indices of pages that may have changed since the previous
+          drain; clears the set. Must over-approximate (a missed dirty
+          page silently corrupts checkpoint digests; a false positive
+          merely costs a byte-compare). After [restore], every page is
+          dirty. *)
+}
+(** Optional dirty-aware checkpoint interface (Section 5.3's
+    copy-on-write dirty pages). A service that opts in lets the replica
+    maintain checkpoint partition trees in O(modified pages); services
+    that don't are checkpointed through the flat [snapshot] path. *)
+
 type t = {
   name : string;
   execute : client:int -> op:string -> nondet:string -> string;
@@ -27,7 +46,13 @@ type t = {
           simulator. *)
   snapshot : unit -> string;
   restore : string -> unit;
+  paged : paged option;
+      (** [None]: checkpointing uses the flat [snapshot] string. *)
 }
+
+val paged_of_image : Paged_image.t -> paged
+(** The paged interface of a {!Paged_image} arena (the common
+    implementation). *)
 
 val denied : string
 (** Canonical result returned when [has_access] fails. *)

@@ -134,6 +134,137 @@ let prop_cow_digest_stable =
       String.equal (Partition_tree.root_digest t1) (Partition_tree.root_digest t2)
       && Partition_tree.digested_bytes t2 = 0)
 
+(* --- incremental update (O(dirty) checkpointing) --- *)
+
+let build_chunks ?prev ~seq ~page_size ~branching chunks =
+  Partition_tree.build_pages ?prev ~seq ~page_size ~branching chunks
+
+let test_update_noop () =
+  let chunks = [| String.make 16 'a'; String.make 16 'b'; "tail" |] in
+  let t1 = build_chunks ~seq:1 ~page_size:16 ~branching:2 chunks in
+  let t2 = Partition_tree.update t1 ~seq:2 ~pages:chunks ~dirty:[ 0; 2 ] in
+  Alcotest.(check int) "nothing digested" 0 (Partition_tree.digested_bytes t2);
+  Alcotest.(check int) "seq advanced" 2 (Partition_tree.seq t2);
+  Alcotest.(check string) "root unchanged"
+    (Bft_util.Hex.encode (Partition_tree.root_digest t1))
+    (Bft_util.Hex.encode (Partition_tree.root_digest t2))
+
+let test_update_sparse_digest_cost () =
+  (* 64 pages, one dirtied: exactly one page's bytes are re-hashed *)
+  let chunks = Array.init 64 (fun i -> String.make 16 (Char.chr (Char.code 'a' + (i mod 26)))) in
+  let t1 = build_chunks ~seq:1 ~page_size:16 ~branching:4 chunks in
+  chunks.(17) <- String.make 16 'Z';
+  let t2 = Partition_tree.update t1 ~seq:2 ~pages:chunks ~dirty:[ 17 ] in
+  Alcotest.(check int) "one page digested" 16 (Partition_tree.digested_bytes t2);
+  Alcotest.(check int) "write set of seq 2" 1 (Partition_tree.pages_modified_at t2 ~seq:2);
+  (* clean pages and untouched interior subtrees are physically shared *)
+  Alcotest.(check bool) "clean page shared" true
+    (Partition_tree.page t2 0 == Partition_tree.page t1 0);
+  let fresh1 = build_chunks ~seq:1 ~page_size:16 ~branching:4
+      (Array.init 64 (fun i -> String.make 16 (Char.chr (Char.code 'a' + (i mod 26))))) in
+  let fresh2 = build_chunks ~prev:fresh1 ~seq:2 ~page_size:16 ~branching:4 chunks in
+  Alcotest.(check string) "root = from-scratch chain"
+    (Bft_util.Hex.encode (Partition_tree.root_digest fresh2))
+    (Bft_util.Hex.encode (Partition_tree.root_digest t2))
+
+let test_update_geometry_fallback () =
+  let chunks = [| String.make 16 'a'; "bb" |] in
+  let t1 = build_chunks ~seq:1 ~page_size:16 ~branching:2 chunks in
+  let grown = [| String.make 16 'a'; String.make 16 'b'; "cc" |] in
+  let t2 = Partition_tree.update t1 ~seq:2 ~pages:grown ~dirty:[] in
+  Alcotest.(check int) "grown to 3 pages" 3 (Partition_tree.num_pages t2);
+  let r2 = build_chunks ~prev:t1 ~seq:2 ~page_size:16 ~branching:2 grown in
+  Alcotest.(check string) "fallback = build_pages ~prev"
+    (Bft_util.Hex.encode (Partition_tree.root_digest r2))
+    (Bft_util.Hex.encode (Partition_tree.root_digest t2))
+
+let test_update_invalid () =
+  let chunks = [| String.make 16 'a'; "bb" |] in
+  let t1 = build_chunks ~seq:1 ~page_size:16 ~branching:2 chunks in
+  Alcotest.check_raises "dirty out of range"
+    (Invalid_argument "Partition_tree.update: dirty index") (fun () ->
+      ignore (Partition_tree.update t1 ~seq:2 ~pages:chunks ~dirty:[ 7 ]));
+  Alcotest.check_raises "short interior page"
+    (Invalid_argument "Partition_tree.update: short interior page") (fun () ->
+      ignore (Partition_tree.update t1 ~seq:2 ~pages:[| "short"; "bb" |] ~dirty:[ 0 ]))
+
+let test_of_pages_mixed_lm () =
+  (* state transfer: reassembling pages with their own (older) lms must
+     reproduce the incrementally-built root digest *)
+  let chunks = Array.init 9 (fun i -> String.make 8 (Char.chr (Char.code 'a' + i))) in
+  let t1 = build_chunks ~seq:1 ~page_size:8 ~branching:3 chunks in
+  chunks.(4) <- String.make 8 'Q';
+  let t2 = Partition_tree.update t1 ~seq:2 ~pages:chunks ~dirty:[ 4 ] in
+  let pages = Array.init (Partition_tree.num_pages t2) (Partition_tree.page t2) in
+  let re = Partition_tree.of_pages ~seq:2 ~page_size:8 ~branching:3 pages in
+  Alcotest.(check string) "root reproduced"
+    (Bft_util.Hex.encode (Partition_tree.root_digest t2))
+    (Bft_util.Hex.encode (Partition_tree.root_digest re));
+  (* a from-scratch build stamps every page with the target seq and cannot
+     reproduce it: pages 0..3,5..8 still carry lm = 1 *)
+  let scratch = Partition_tree.build ~seq:2 ~page_size:8 ~branching:3 (Partition_tree.snapshot t2) in
+  Alcotest.(check bool) "scratch build differs" true
+    (not (String.equal (Partition_tree.root_digest scratch) (Partition_tree.root_digest t2)))
+
+let prop_update_equals_build =
+  (* random op sequences and (over-approximated) dirty sets: the
+     incrementally-updated tree must be byte-identical to the
+     copy-on-write from-scratch chain at every node of every level *)
+  QCheck.Test.make ~name:"update = build chain (random ops/dirty sets)" ~count:80
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 6))
+    (fun (seed, steps) ->
+      let st = Random.State.make [| seed |] in
+      let page_size = 8 + Random.State.int st 24 in
+      let branching = 2 + Random.State.int st 4 in
+      let n = 1 + Random.State.int st 40 in
+      let last_len = 1 + Random.State.int st page_size in
+      let mk_page len = String.init len (fun _ -> Char.chr (Random.State.int st 256)) in
+      let pages =
+        Array.init n (fun i -> mk_page (if i = n - 1 then last_len else page_size))
+      in
+      let t_upd = ref (build_chunks ~seq:1 ~page_size ~branching pages) in
+      let t_ref = ref (build_chunks ~seq:1 ~page_size ~branching pages) in
+      let ok = ref true in
+      for s = 2 to 1 + steps do
+        let before = Array.copy pages in
+        let dirty = ref [] in
+        for _ = 1 to 1 + Random.State.int st (max 1 (n / 2)) do
+          let i = Random.State.int st n in
+          (* sometimes listed dirty without actually changing: the update
+             must byte-compare and keep the old record *)
+          if Random.State.bool st then pages.(i) <- mk_page (String.length pages.(i));
+          dirty := i :: !dirty
+        done;
+        for _ = 1 to Random.State.int st 3 do
+          dirty := Random.State.int st n :: !dirty
+        done;
+        let chunks = Array.copy pages in
+        let prev_u = !t_upd in
+        let u = Partition_tree.update prev_u ~seq:s ~pages:chunks ~dirty:!dirty in
+        let r = build_chunks ~prev:!t_ref ~seq:s ~page_size ~branching chunks in
+        ok :=
+          !ok
+          && String.equal (Partition_tree.root_digest u) (Partition_tree.root_digest r)
+          && Partition_tree.digested_bytes u = Partition_tree.digested_bytes r
+          && Partition_tree.depth u = Partition_tree.depth r;
+        for level = 0 to Partition_tree.depth u - 1 do
+          ok := !ok && Partition_tree.level_width u level = Partition_tree.level_width r level;
+          for idx = 0 to Partition_tree.level_width u level - 1 do
+            let lmu, du = Partition_tree.node_info u ~level ~index:idx in
+            let lmr, dr = Partition_tree.node_info r ~level ~index:idx in
+            ok := !ok && lmu = lmr && String.equal du dr
+          done
+        done;
+        (* unchanged pages keep their physical record *)
+        for i = 0 to n - 1 do
+          if String.equal before.(i) pages.(i) then
+            ok := !ok && Partition_tree.page u i == Partition_tree.page prev_u i
+        done;
+        t_upd := u;
+        t_ref := r
+      done;
+      !ok)
+
 let suites =
   [
     ( "core.partition_tree",
@@ -149,7 +280,13 @@ let suites =
         Alcotest.test_case "index in digest" `Quick test_page_index_in_digest;
         Alcotest.test_case "growth and shrink" `Quick test_growth_and_shrink;
         Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        Alcotest.test_case "update: no-op" `Quick test_update_noop;
+        Alcotest.test_case "update: sparse digest cost" `Quick test_update_sparse_digest_cost;
+        Alcotest.test_case "update: geometry fallback" `Quick test_update_geometry_fallback;
+        Alcotest.test_case "update: invalid args" `Quick test_update_invalid;
+        Alcotest.test_case "of_pages: mixed lm" `Quick test_of_pages_mixed_lm;
         QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
         QCheck_alcotest.to_alcotest prop_cow_digest_stable;
+        QCheck_alcotest.to_alcotest prop_update_equals_build;
       ] );
   ]
