@@ -1,0 +1,75 @@
+(* bftlint — static-analysis gate over this repo's lib/ sources.
+
+   Syntactic rules run on a parse of each .ml file; type-aware rules run
+   on the .cmt files dune emits, so run it from a tree where the
+   libraries are built (dune build @lint does exactly that). Exit codes:
+   0 clean, 1 findings, 2 scan errors. *)
+
+open Cmdliner
+
+let run root paths format out allows =
+  let allow =
+    List.filter_map
+      (fun spec ->
+        match String.index_opt spec ':' with
+        | Some i ->
+            Some
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+        | None ->
+            Printf.eprintf "bftlint: ignoring malformed --allow %S (want PREFIX:RULE)\n" spec;
+            None)
+      allows
+  in
+  let r = Bft_lint.Lint.lint_tree ~allow ~root paths in
+  let json = Bft_lint.Finding.list_to_json r.findings in
+  (match out with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  (match format with
+  | `Json -> print_endline json
+  | `Text ->
+      List.iter (fun f -> print_endline (Bft_lint.Finding.to_string f)) r.findings;
+      Printf.printf "bftlint: %d finding%s in %d files (+%d cmt)\n" (List.length r.findings)
+        (if List.length r.findings = 1 then "" else "s")
+        r.files_scanned r.cmts_scanned);
+  List.iter (fun e -> Printf.eprintf "bftlint: error: %s\n" e) r.errors;
+  if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0
+
+let root =
+  let doc = "Tree to lint (the build tree, so .cmt files are visible)." in
+  Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc)
+
+let paths =
+  let doc = "Paths under $(b,--root) to scan." in
+  Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
+
+let format =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let out =
+  let doc = "Also write the JSON findings to $(docv) (written even when clean)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let allows =
+  let doc =
+    "Extend the per-directory allowlist with $(i,PREFIX):$(i,RULE) (repeatable). Files whose \
+     path contains $(i,PREFIX) are exempt from $(i,RULE)."
+  in
+  Arg.(value & opt_all string [] & info [ "allow" ] ~docv:"PREFIX:RULE" ~doc)
+
+let cmd =
+  let info =
+    Cmd.info "bftlint" ~doc:"determinism / fault-hygiene static analysis for the bft repo"
+  in
+  Cmd.v info Term.(const run $ root $ paths $ format $ out $ allows)
+
+let () = exit (Cmd.eval' cmd)

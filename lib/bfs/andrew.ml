@@ -47,7 +47,9 @@ let script ?(scale = 1) ?(file_size = 1024) ?(seed = 7L) () =
               let len = min 512 !remaining in
               let data = Bft_util.Rng.bytes rng len in
               emit Copy (Bfs_service.op_write ~ino ~off:!off data) false;
-              ignore (Fs.write shadow ~ino ~off:!off ~data ~mtime:0L);
+              (match Fs.write shadow ~ino ~off:!off ~data ~mtime:0L with
+              | Ok _ -> ()
+              | Error _ -> assert false);
               off := !off + len;
               remaining := !remaining - len
             done;
@@ -73,7 +75,9 @@ let script ?(scale = 1) ?(file_size = 1024) ?(seed = 7L) () =
       | Ok a ->
           let data = Bft_util.Rng.bytes rng (file_size / 2) in
           emit Make (Bfs_service.op_write ~ino:a.Fs.a_ino ~off:0 data) false;
-          ignore (Fs.write shadow ~ino:a.Fs.a_ino ~off:0 ~data ~mtime:0L)
+          (match Fs.write shadow ~ino:a.Fs.a_ino ~off:0 ~data ~mtime:0L with
+          | Ok _ -> ()
+          | Error _ -> assert false)
       | Error _ -> assert false)
     dirs;
   List.rev !steps

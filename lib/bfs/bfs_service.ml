@@ -103,7 +103,7 @@ let op_read ~ino ~off ~len = Printf.sprintf "read %d %d %d" ino off len
 
 let parse_attr_ino result =
   match String.split_on_char ' ' result with
-  | first :: _ when String.length first > 4 && String.sub first 0 4 = "ino=" ->
+  | first :: _ when String.length first > 4 && String.equal (String.sub first 0 4) "ino=" ->
       int_of_string_opt (String.sub first 4 (String.length first - 4))
   | _ -> None
 

@@ -98,9 +98,11 @@ let lookup t ~dir ~name =
 let readdir t ~dir =
   match dir_of t dir with
   | Error e -> Error e
-  | Ok d -> Ok (Hashtbl.fold (fun name _ acc -> name :: acc) d.entries [] |> List.sort compare)
+  | Ok d -> Ok (Hashtbl.fold (fun name _ acc -> name :: acc) d.entries [] |> List.sort String.compare)
 
-let valid_name name = name <> "" && name <> "." && name <> ".." && not (String.contains name '/')
+let valid_name name =
+  (not (String.equal name "")) && (not (String.equal name ".")) && (not (String.equal name ".."))
+  && not (String.contains name '/')
 
 let add_entry t ~dir ~name ~mtime make_node =
   if not (valid_name name) then Error `Inval
@@ -205,7 +207,8 @@ let write t ~ino ~off ~data ~mtime =
         let b = Bytes.make new_len '\x00' in
         Bytes.blit_string old 0 b 0 old_len;
         Bytes.blit_string data 0 b off data_len;
-        f.content <- Bytes.unsafe_to_string b;
+        (* freeze idiom: [b] is never written again after this point *)
+        f.content <- (Bytes.unsafe_to_string b [@lint.allow "unsafe-op"]);
         f.f_mtime <- mtime;
         sync_inode t ino;
         Ok data_len
@@ -298,7 +301,7 @@ let decode_inode_payload p =
         | 'd', Some mtime ->
             let tbl = Hashtbl.create 8 in
             let ok = ref true in
-            if rest <> "" then
+            if not (String.equal rest "") then
               List.iter
                 (fun kv ->
                   match String.rindex_opt kv '=' with
@@ -358,7 +361,7 @@ let restore_flat t s =
   match
     List.iter
       (fun line ->
-        if line <> "" then
+        if not (String.equal line "") then
           match String.split_on_char ' ' line with
           | [ "next"; n ] -> next_ino := int_of_string n
           | [ "f"; ino; mtime; hex ] ->
@@ -366,7 +369,7 @@ let restore_flat t s =
                 (File { content = Bft_util.Hex.decode hex; f_mtime = Int64.of_string mtime })
           | [ "d"; ino; mtime; ents ] ->
               let tbl = Hashtbl.create 8 in
-              if ents <> "" then
+              if not (String.equal ents "") then
                 List.iter
                   (fun kv ->
                     match String.rindex_opt kv '=' with

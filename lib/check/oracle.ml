@@ -64,7 +64,7 @@ let check_client_results cluster ~correct ~completed =
       List.iter
         (fun (seq, client, op, result) ->
           match Hashtbl.find_opt by_op (client, op) with
-          | Some accepted when accepted <> result && !violation = None ->
+          | Some accepted when (not (String.equal accepted result)) && !violation = None ->
               violation :=
                 Some
                   (Printf.sprintf
@@ -93,7 +93,7 @@ let check_checkpoint_agreement cluster ~correct =
   List.iter
     (fun (i, seq, digest) ->
       match Hashtbl.find_opt by_seq seq with
-      | Some (j, d) when d <> digest && !violation = None ->
+      | Some (j, d) when (not (String.equal d digest)) && !violation = None ->
           violation :=
             Some
               (Printf.sprintf "replicas %d and %d disagree on the digest of checkpoint %d"

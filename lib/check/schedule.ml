@@ -257,11 +257,11 @@ let to_string t =
 let parse_error fmt = Printf.ksprintf (fun s -> Error s) fmt
 
 let parse_endpoint s =
-  if s = "*" then Ok None
+  if String.equal s "*" then Ok None
   else match int_of_string_opt s with Some i -> Ok (Some i) | None -> parse_error "bad endpoint %S" s
 
 let parse_ids s =
-  if s = "" then Ok []
+  if String.equal s "" then Ok []
   else
     let parts = String.split_on_char ',' s in
     let rec go acc = function
@@ -342,7 +342,7 @@ let parse_event s =
           Ok { at_us; action })
 
 let of_string s =
-  if String.trim s = "" then Ok []
+  if String.equal (String.trim s) "" then Ok []
   else
     let rec go acc = function
       | [] -> Ok (List.sort (fun a b -> compare a.at_us b.at_us) (List.rev acc))

@@ -91,23 +91,27 @@ let try_stabilize t =
       Some (seq, tr)
 
 let certified_digest t ~threshold =
+  (* Scan votes in sorted order so the certified target is a pure function
+     of the vote multiset: hash-iteration order must never pick the state
+     transfer target (equivocating replicas can certify two digests at one
+     seq; the lexicographically smallest wins the tie deterministically). *)
   let best = ref None in
-  Hashtbl.iter
-    (fun seq votes ->
-      (* group votes by digest *)
-      let counts = Hashtbl.create 4 in
-      Hashtbl.iter
-        (fun _ d ->
-          Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
-        votes;
-      Hashtbl.iter
-        (fun d c ->
-          if c >= threshold then
-            match !best with
-            | Some (s, _) when s >= seq -> ()
-            | _ -> best := Some (seq, d))
-        counts)
-    t.votes;
+  let seqs = List.sort Int.compare (Hashtbl.fold (fun s _ acc -> s :: acc) t.votes []) in
+  List.iter
+    (fun seq ->
+      let votes = Hashtbl.find t.votes seq in
+      let ds = List.sort String.compare (Hashtbl.fold (fun _ d acc -> d :: acc) votes []) in
+      (* [ds] sorted: count each run of equal digests *)
+      let rec scan = function
+        | [] -> ()
+        | d :: _ as l ->
+            let rest = List.filter (fun x -> not (String.equal x d)) l in
+            if List.length l - List.length rest >= threshold then
+              best := Some (seq, d)
+            else scan rest
+      in
+      scan ds)
+    seqs;
   !best
 
 let drop_above t bound =

@@ -604,7 +604,7 @@ let execute_batch t n ~tentative =
               in
               if Int64.compare req.timestamp last_t > 0 then begin
                 let result =
-                  if String.length req.op >= 9 && String.sub req.op 0 9 = "\x00RECOVERY"
+                  if String.length req.op >= 9 && String.equal (String.sub req.op 0 9) "\x00RECOVERY"
                   then begin
                     (* recovery request (Section 4.3.2): refresh our keys and
                        reply with the sequence number it executed at *)
@@ -2431,18 +2431,27 @@ let mute t b = t.muted <- b
 
 let corrupt_state t =
   (* trash the service state behind the protocol's back *)
-  let s = t.d.service.Bft_sm.Service.snapshot () in
+  let s = full_snapshot t in
   let s' =
     if String.length s = 0 then "CORRUPT"
     else String.init (String.length s) (fun i -> if i mod 7 = 0 then '\xff' else s.[i])
   in
-  (try t.d.service.Bft_sm.Service.restore s' with _ -> ());
+  (* Route the trashed image through the hardened restore path: a validating
+     service refuses it, and the refusal is counted ([snapshot_rejected])
+     and logged instead of being silently swallowed. *)
+  (match restore_snapshot t s' with
+  | Ok () -> ()
+  | Error _ ->
+      (* rejection recorded by [restore_snapshot]; the digests installed
+         below still diverge, so recovery exercises state transfer *)
+      ());
   (* also corrupt retained checkpoint trees by rebuilding them from the
-     corrupted snapshot (the attacker controls the whole node) *)
-  let snap = full_snapshot t in
+     corrupted snapshot (the attacker controls the whole node); building
+     from the corrupted bytes directly makes the node's checkpoint digests
+     diverge even when the service refused the image *)
   let stable = Checkpoint_store.stable_seq t.ckpts in
   let tree =
-    Partition_tree.build ~seq:stable ~page_size:t.d.page_size ~branching:t.d.branching snap
+    Partition_tree.build ~seq:stable ~page_size:t.d.page_size ~branching:t.d.branching s'
   in
   Checkpoint_store.install t.ckpts tree;
   (* the installed tree no longer matches the service's dirty accounting *)

@@ -1,0 +1,55 @@
+(* A single static-analysis finding, anchored to a source location. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["determinism-unix"] *)
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+let v ~rule ~loc msg =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    msg;
+  }
+
+let compare_pos a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let to_string f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
+
+let list_to_json fs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (to_json f))
+    fs;
+  Buffer.add_string b (Printf.sprintf "], \"count\": %d}" (List.length fs));
+  Buffer.contents b

@@ -1,0 +1,128 @@
+(* Driver: run the syntactic rules over [.ml] sources and the type-aware
+   rules over the [.cmt] files dune leaves under [.objs/byte], apply the
+   per-directory allowlist, and report sorted findings. *)
+
+(* Built-in per-directory allowlist: unchecked accesses are the point of
+   the crypto kernels and the page arena; everywhere else they are a bug. *)
+let default_allowlist =
+  [ ("lib/crypto/", Rule.unsafe_op); ("lib/statemachine/paged_image.ml", Rule.unsafe_op) ]
+
+let contains_sub hay sub =
+  let lh = String.length hay and ls = String.length sub in
+  let rec go i = i + ls <= lh && (String.equal (String.sub hay i ls) sub || go (i + 1)) in
+  go 0
+
+let allowed_by allowlist (f : Finding.t) =
+  List.exists
+    (fun (prefix, rule) -> String.equal rule f.Finding.rule && contains_sub f.Finding.file prefix)
+    allowlist
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_impl ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  Parse.implementation lexbuf
+
+(* Lint one [.ml] source file (syntactic rules only). [filename] is the
+   path recorded in findings; [path], when given, is where to read it. *)
+let lint_ml_file ?path filename =
+  let src = read_file (Option.value path ~default:filename) in
+  Syntactic.lint (parse_impl ~filename src)
+
+(* Lint one [.cmt] file (type-aware rules only). Findings carry the
+   source path recorded at compile time, e.g. "lib/core/replica.ml". *)
+let lint_cmt_file path =
+  match (Cmt_format.read_cmt path).Cmt_format.cmt_annots with
+  | Cmt_format.Implementation tstr -> Typed.lint tstr
+  | _ -> []
+
+(* Typecheck a standalone snippet against the initial environment so the
+   fixture corpus can exercise the type-aware rules without dune in the
+   loop. Returns [Error] when the snippet does not typecheck (fixtures
+   for the determinism rules reference Unix etc., which is not on the
+   load path — their typed findings are necessarily empty). *)
+let initial_env =
+  lazy
+    (Compmisc.init_path ();
+     (* fixtures are deliberately scruffy; keep the typechecker from
+        printing warnings while linting them *)
+     let (_ : Warnings.alert option) = Warnings.parse_options false "-a" in
+     Compmisc.initial_env ())
+
+let typecheck str =
+  match Typemod.type_structure (Lazy.force initial_env) str with
+  | tstr, _, _, _, _ -> Ok tstr
+  | exception exn -> Error (Printexc.to_string exn)
+
+(* Lint a source string with both rule sets. The second component tells
+   the caller whether the typed pass ran. *)
+let lint_source ~filename src =
+  let str = parse_impl ~filename src in
+  let syntactic = Syntactic.lint str in
+  match typecheck str with
+  | Ok tstr -> (List.sort Finding.compare_pos (syntactic @ Typed.lint tstr), Ok ())
+  | Error e -> (List.sort Finding.compare_pos syntactic, Error e)
+
+(* Walk [root/path] collecting sources and cmt artifacts. Sources are
+   reported relative to [root]; directory order is sorted so runs are
+   deterministic. [.cmti] files (interfaces) carry no expressions worth
+   checking; wrapper/alias cmts are harmless to scan. *)
+let gather ~root paths =
+  let mls = ref [] and cmts = ref [] in
+  let rec walk rel =
+    let full = Filename.concat root rel in
+    if Sys.is_directory full then
+      Array.iter
+        (fun name -> walk (Filename.concat rel name))
+        (let names = Sys.readdir full in
+         Array.sort String.compare names;
+         names)
+    else if String.ends_with ~suffix:".ml" rel then mls := rel :: !mls
+    else if String.ends_with ~suffix:".cmt" rel then cmts := rel :: !cmts
+  in
+  List.iter (fun p -> if Sys.file_exists (Filename.concat root p) then walk p) paths;
+  (List.rev !mls, List.rev !cmts)
+
+type run = {
+  findings : Finding.t list;
+  errors : string list;  (* files that failed to parse/load *)
+  files_scanned : int;
+  cmts_scanned : int;
+}
+
+(* Lint a tree: syntactic rules over every [.ml], typed rules over every
+   [.cmt], allowlist applied to both. [allow] extends the built-in
+   per-directory allowlist with (path-prefix, rule-id) pairs. *)
+let lint_tree ?(allow = []) ~root paths =
+  let allowlist = allow @ default_allowlist in
+  let mls, cmts = gather ~root paths in
+  let errors = ref [] in
+  let of_ml rel =
+    match lint_ml_file ~path:(Filename.concat root rel) rel with
+    | fs -> fs
+    | exception exn ->
+        errors := Printf.sprintf "%s: %s" rel (Printexc.to_string exn) :: !errors;
+        []
+  in
+  let of_cmt rel =
+    match lint_cmt_file (Filename.concat root rel) with
+    | fs -> fs
+    | exception exn ->
+        errors := Printf.sprintf "%s: %s" rel (Printexc.to_string exn) :: !errors;
+        []
+  in
+  let raw = List.concat_map of_ml mls @ List.concat_map of_cmt cmts in
+  let findings =
+    List.sort Finding.compare_pos (List.filter (fun f -> not (allowed_by allowlist f)) raw)
+  in
+  {
+    findings;
+    errors = List.rev !errors;
+    files_scanned = List.length mls;
+    cmts_scanned = List.length cmts;
+  }

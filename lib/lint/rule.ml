@@ -1,0 +1,33 @@
+(* The rule catalogue. Every finding carries one of these ids, and
+   [@lint.allow "<id>"] / per-directory allowlists suppress by id. *)
+
+let unix = "determinism-unix"
+let time = "determinism-time"
+let getenv = "determinism-getenv"
+let random = "determinism-random"
+let marshal = "determinism-marshal"
+let hashtbl_hash = "determinism-hashtbl-hash"
+let hashtbl_order = "hashtbl-order"
+let swallowed_exception = "swallowed-exception"
+let ignored_result = "ignored-result"
+let digest_compare = "digest-compare"
+let unsafe_op = "unsafe-op"
+
+(* id, type-aware?, one-line rationale (the DESIGN.md catalogue mirrors
+   this list; test_lint checks every id here has a fixture). *)
+let all =
+  [
+    (unix, false, "Unix is wall-clock/OS-dependent; lib/ must stay deterministic");
+    (time, false, "Sys.time reads the wall clock; use the simulator's virtual clock");
+    (getenv, false, "environment lookups make replicas diverge; thread settings through Config");
+    (random, false, "unseeded/global randomness breaks replayable schedules; use Bft_util.Rng");
+    (marshal, false, "Marshal bytes are not a stable wire format; use Wire codecs");
+    (hashtbl_hash, false, "Hashtbl.hash is not a stable digest; use Sha256/Adhash");
+    (hashtbl_order, false, "Hashtbl iteration order must not reach wire/digest/snapshot bytes");
+    (swallowed_exception, false, "catch-all try handlers hide faults; match specific exceptions");
+    (ignored_result, true, "ignoring a result value silently drops the Error case");
+    (digest_compare, true, "polymorphic compare on digest/key strings; use String.equal/compare");
+    (unsafe_op, false, "unchecked accesses only in the crypto / Paged_image allowlist");
+  ]
+
+let ids = List.map (fun (id, _, _) -> id) all

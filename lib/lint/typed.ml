@@ -1,0 +1,81 @@
+(* Typedtree-level (type-aware) rules, run over the [.cmt] files dune
+   emits (bin_annot is on by default): [ignore] of a [result]-typed
+   expression, and polymorphic comparison instantiated at digest/string
+   type. Both need the inferred types, which the parsetree cannot give. *)
+
+open Typedtree
+
+type ctx = { mutable findings : Finding.t list; mutable allows : string list }
+
+let report ctx ~loc ~rule msg =
+  if not (List.exists (String.equal rule) ctx.allows) then
+    ctx.findings <- Finding.v ~rule ~loc msg :: ctx.findings
+
+(* Digest, key and wire material are all [string] (or the [digest] =
+   string alias from Message) in this codebase. *)
+let is_digest_material ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      Path.same p Predef.path_string || Path.same p Predef.path_bytes
+      || String.equal (Path.last p) "digest"
+  | _ -> false
+
+let poly_compare_names = [ "Stdlib.="; "Stdlib.<>"; "Stdlib.=="; "Stdlib.!="; "Stdlib.compare" ]
+
+let is_result_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> String.equal (Path.last p) "result"
+  | _ -> false
+
+let expr ctx (it : Tast_iterator.iterator) e =
+  let saved = ctx.allows in
+  ctx.allows <- Syntactic.attr_allows e.exp_attributes @ ctx.allows;
+  (match e.exp_desc with
+  | Texp_ident (p, { loc; _ }, _)
+    when List.exists (String.equal (Path.name p)) poly_compare_names -> (
+      (* The use site instantiates the comparator's type scheme; flag it
+         when the operands are digest/key strings. *)
+      match Types.get_desc e.exp_type with
+      | Types.Tarrow (_, arg, _, _) when is_digest_material arg ->
+          report ctx ~loc ~rule:Rule.digest_compare
+            (Printf.sprintf
+               "polymorphic %s at digest/string type; use String.equal or String.compare"
+               (Path.last p))
+      | _ -> ())
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, [ (_, Some arg) ])
+    when String.equal (Path.name p) "Stdlib.ignore" && is_result_ty arg.exp_type ->
+      report ctx ~loc:e.exp_loc ~rule:Rule.ignored_result
+        "ignore of a result-typed expression drops the Error case; match on it"
+  | _ -> ());
+  Tast_iterator.default_iterator.expr it e;
+  ctx.allows <- saved
+
+let value_binding ctx (it : Tast_iterator.iterator) vb =
+  let saved = ctx.allows in
+  ctx.allows <- Syntactic.attr_allows vb.vb_attributes @ ctx.allows;
+  Tast_iterator.default_iterator.value_binding it vb;
+  ctx.allows <- saved
+
+let structure ctx (it : Tast_iterator.iterator) (str : structure) =
+  let saved = ctx.allows in
+  List.iter
+    (fun item ->
+      (match item.str_desc with
+      | Tstr_attribute a -> ctx.allows <- Syntactic.attr_allows [ a ] @ ctx.allows
+      | _ -> ());
+      it.structure_item it item)
+    str.str_items;
+  ctx.allows <- saved
+
+let lint (str : structure) : Finding.t list =
+  let ctx = { findings = []; allows = [] } in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr = expr ctx;
+      value_binding = value_binding ctx;
+      structure = structure ctx;
+    }
+  in
+  it.structure it str;
+  List.rev ctx.findings

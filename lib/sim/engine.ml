@@ -1,5 +1,10 @@
 type time = int64
 
+(* The heap below is the simulator's hottest loop (PR 2): every index is
+   kept in bounds by the size counter, so the unchecked array accesses
+   are justified here. *)
+[@@@lint.allow "unsafe-op"]
+
 (* The event queue is an array-backed binary min-heap ordered by
    (fire time, scheduling sequence): the sequence number breaks ties so
    same-time events fire in FIFO scheduling order, exactly like the

@@ -23,7 +23,7 @@ let create () =
   {
     Service.name = "counter";
     execute;
-    is_read_only = (fun op -> op = "get");
+    is_read_only = (fun op -> String.equal op "get");
     has_access = (fun ~client:_ _ -> true);
     exec_cost_us = (fun _ -> 0.5);
     snapshot = (fun () -> string_of_int !v);

@@ -24,17 +24,17 @@ let decode_snapshot st s =
   Hashtbl.reset st.table;
   let lines = String.split_on_char '\n' s in
   (match lines with
-  | first :: _ when first = "open" -> st.acl <- None
-  | first :: _ when String.length first > 4 && String.sub first 0 4 = "acl " ->
+  | first :: _ when String.equal first "open" -> st.acl <- None
+  | first :: _ when String.length first > 4 && String.equal (String.sub first 0 4) "acl " ->
       let ids = String.sub first 4 (String.length first - 4) in
       st.acl <-
         Some
-          (if ids = "" then []
+          (if String.equal ids "" then []
            else List.map int_of_string (String.split_on_char ',' ids))
   | _ -> st.acl <- None);
   List.iteri
     (fun i line ->
-      if i > 0 && line <> "" then
+      if i > 0 && not (String.equal line "") then
         match String.index_opt line ' ' with
         | None -> ()
         | Some sp1 -> (
@@ -50,7 +50,7 @@ let decode_snapshot st s =
 
 let mutating op =
   match String.split_on_char ' ' op with
-  | verb :: _ -> not (verb = "get" || verb = "size")
+  | verb :: _ -> not (String.equal verb "get" || String.equal verb "size")
   | [] -> true
 
 (* Paged-arena record layout: one record per binding under key "B"<k>,
@@ -62,9 +62,9 @@ let acl_payload = function
   | Some l -> "acl " ^ String.concat "," (List.map string_of_int (List.sort compare l))
 
 let acl_of_payload s =
-  if s = "open" then Some None
-  else if s = "acl" then Some (Some [])
-  else if String.length s > 4 && String.sub s 0 4 = "acl " then
+  if String.equal s "open" then Some None
+  else if String.equal s "acl" then Some (Some [])
+  else if String.length s > 4 && String.equal (String.sub s 0 4) "acl " then
     let parts = String.split_on_char ',' (String.sub s 4 (String.length s - 4)) in
     let ids = List.filter_map int_of_string_opt parts in
     if List.length ids = List.length parts then Some (Some ids) else None
@@ -104,7 +104,7 @@ let create ?restrict ?paged () =
       | [ "cas"; k; old_v; new_v ] -> (
           match Hashtbl.find_opt st.table k with
           | None -> "ENOENT"
-          | Some v when v = old_v ->
+          | Some v when String.equal v old_v ->
               Hashtbl.replace st.table k new_v;
               sync_put k new_v;
               "ok"

@@ -6,9 +6,9 @@ let op ~read_only ~arg_size ~result_size =
 
 let parse op =
   match String.split_on_char ':' op with
-  | tag :: size :: _ when tag = "ro" || tag = "rw" -> (
+  | tag :: size :: _ when String.equal tag "ro" || String.equal tag "rw" -> (
       match int_of_string_opt size with
-      | Some r when r >= 0 -> Some (tag = "ro", r)
+      | Some r when r >= 0 -> Some (String.equal tag "ro", r)
       | _ -> None)
   | _ -> None
 

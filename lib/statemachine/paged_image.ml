@@ -209,7 +209,9 @@ let decode_raw ~page_size s =
   let err fmt = Printf.ksprintf (fun m -> Error ("Paged_image: " ^ m)) fmt in
   if page_size < min_page_size then err "bad page size"
   else if len < page_size || len mod page_size <> 0 then err "image not page-aligned"
-  else if len < header_len || String.sub s 0 6 <> "ARENA " || s.[header_len - 1] <> '\n'
+  else if len < header_len
+          || (not (String.equal (String.sub s 0 6) "ARENA "))
+          || s.[header_len - 1] <> '\n'
           || not (is_digits s 6 (header_len - 1))
   then err "bad arena header"
   else begin

@@ -8,7 +8,8 @@ let encode s =
     Bytes.set b (2 * i) hex_chars.[c lsr 4];
     Bytes.set b ((2 * i) + 1) hex_chars.[c land 0xf]
   done;
-  Bytes.unsafe_to_string b
+  (* freeze idiom: [b] is never written again after this point *)
+  (Bytes.unsafe_to_string b [@lint.allow "unsafe-op"])
 
 let nibble c =
   match c with

@@ -1,0 +1,4 @@
+let eq (a : string) (b : string) = a = b
+let ne (a : string) (b : string) = a <> b
+let sorted (l : string list) = List.sort compare l
+let ints_are_fine (a : int) (b : int) = a = b

@@ -1,0 +1,1 @@
+let home () = Sys.getenv_opt "HOME"

@@ -1,0 +1,1 @@
+let digest_of (x : string) = Hashtbl.hash x

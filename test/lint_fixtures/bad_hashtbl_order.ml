@@ -1,0 +1,12 @@
+let encode_table (h : (string, string) Hashtbl.t) =
+  let b = Buffer.create 16 in
+  Hashtbl.iter (fun k v -> Buffer.add_string b (k ^ "=" ^ v)) h;
+  Buffer.contents b
+
+(* sorted before use: iteration order cannot reach the bytes *)
+let encode_sorted (h : (string, string) Hashtbl.t) =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+(* not an encoder context: order-insensitive counting is fine *)
+let count_table (h : (string, string) Hashtbl.t) =
+  Hashtbl.fold (fun _ _ acc -> acc + 1) h 0

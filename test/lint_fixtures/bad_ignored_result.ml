@@ -1,0 +1,2 @@
+let drop (r : (int, string) result) = ignore r
+let fine (n : int) = ignore n

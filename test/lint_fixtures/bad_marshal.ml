@@ -1,0 +1,1 @@
+let encode (x : int) = Marshal.to_string x []

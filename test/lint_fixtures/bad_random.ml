@@ -1,0 +1,3 @@
+let () = Random.self_init ()
+let roll () = Random.int 6
+let ok_seeded () = Random.State.make [| 42 |]

@@ -1,0 +1,1 @@
+let elapsed () = Sys.time ()

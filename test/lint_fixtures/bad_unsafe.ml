@@ -1,0 +1,2 @@
+let first (a : int array) = Array.unsafe_get a 0
+let cast (x : int) : bool = Obj.magic x

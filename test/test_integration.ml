@@ -406,6 +406,47 @@ let test_recovery_of_corrupt_replica () =
       Replica.last_executed (Cluster.replica c 2) >= Replica.committed_upto (Cluster.replica c 0)));
   Alcotest.(check bool) "state repaired" true (all_equal_states c [ 0; 2 ])
 
+let test_corrupt_state_rejected_loudly () =
+  (* regression: [Replica.corrupt_state] used to swallow a validating
+     service's restore failure ([try ... with _ -> ()]); it now routes the
+     trashed image through the hardened restore path so the rejection is
+     counted ([snapshot_rejected]) instead of silently ignored, and recovery
+     still repairs the node via state transfer *)
+  let cfg = Config.make ~checkpoint_interval:8 ~f:1 () in
+  let reg = Bft_obs.Obs.registry () in
+  let c =
+    Cluster.create ~seed:42L
+      ~service:(fun () -> Bft_sm.Kv_service.create ~paged:64 ())
+      ~num_clients:1 ~obs:reg cfg
+  in
+  for i = 1 to 20 do
+    ignore (Cluster.invoke_sync c ~client:0 (Printf.sprintf "put k%d v%d" i i))
+  done;
+  let rejections () = Bft_obs.Obs.snapshot_rejections (Bft_obs.Obs.for_node reg 2) in
+  Alcotest.(check int) "no rejection before corruption" 0 (rejections ());
+  Replica.corrupt_state (Cluster.replica c 2);
+  Alcotest.(check bool) "rejection counted" true (rejections () >= 1);
+  Replica.force_recovery (Cluster.replica c 2);
+  let i = ref 20 in
+  let recovered =
+    Cluster.run_until ~timeout_us:60_000_000.0 c (fun () ->
+        if not (Client.busy (Cluster.client c 0)) then begin
+          incr i;
+          Client.invoke (Cluster.client c 0)
+            ~op:(Printf.sprintf "put k%d v%d" !i !i)
+            (fun ~result:_ ~latency_us:_ -> ())
+        end;
+        not (Replica.is_recovering (Cluster.replica c 2)))
+  in
+  Alcotest.(check bool) "recovery completed" true recovered;
+  Alcotest.(check bool) "fetched repaired state" true
+    ((Replica.counters (Cluster.replica c 2)).Replica.n_state_transfers >= 1);
+  ignore (Cluster.run_until ~timeout_us:5_000_000.0 c (fun () -> not (Client.busy (Cluster.client c 0))));
+  ignore (Cluster.invoke_sync ~timeout_us:30_000_000.0 c ~client:0 "put last one");
+  ignore (Cluster.run_until ~timeout_us:10_000_000.0 c (fun () ->
+      Replica.last_executed (Cluster.replica c 2) >= Replica.committed_upto (Cluster.replica c 0)));
+  Alcotest.(check bool) "state repaired" true (all_equal_states c [ 0; 2 ])
+
 let test_recovery_of_healthy_replica_harmless () =
   (* proactive recovery of a non-faulty replica must not disturb safety or
      drop its state (Section 4.1) *)
@@ -646,6 +687,7 @@ let suites =
       [
         Alcotest.test_case "state transfer" `Quick test_lagging_replica_state_transfer;
         Alcotest.test_case "recover corrupt replica" `Slow test_recovery_of_corrupt_replica;
+        Alcotest.test_case "corrupt snapshot rejected loudly" `Slow test_corrupt_state_rejected_loudly;
         Alcotest.test_case "recover healthy replica" `Slow test_recovery_of_healthy_replica_harmless;
         QCheck_alcotest.to_alcotest prop_random_faults_keep_histories_consistent;
       ] );

@@ -1,0 +1,111 @@
+(* bft_lint: every rule in the catalogue has a fixture that triggers it
+   (exact ids and lines asserted), suppression works, and — the merge
+   gate — the repo's own lib/ tree lints clean. *)
+
+module Lint = Bft_lint.Lint
+module Finding = Bft_lint.Finding
+module Rule = Bft_lint.Rule
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_fixture name =
+  let path = Filename.concat "lint_fixtures" name in
+  Lint.lint_source ~filename:path (read_file path)
+
+let contains hay sub =
+  let lh = String.length hay and ls = String.length sub in
+  let rec go i = i + ls <= lh && (String.equal (String.sub hay i ls) sub || go (i + 1)) in
+  go 0
+
+(* (fixture, does the assertion need the typed pass?, expected (rule, line)s).
+   Fixtures that reference Unix do not typecheck against the initial env
+   (Unix is not on the load path), so their typed pass is skipped; all
+   their findings are syntactic anyway. *)
+let corpus =
+  [
+    ("bad_unix.ml", false, [ (Rule.unix, 1) ]);
+    ("bad_time.ml", false, [ (Rule.time, 1) ]);
+    ("bad_getenv.ml", false, [ (Rule.getenv, 1) ]);
+    ("bad_random.ml", false, [ (Rule.random, 1); (Rule.random, 2) ]);
+    ("bad_marshal.ml", false, [ (Rule.marshal, 1) ]);
+    ("bad_hashtbl_hash.ml", false, [ (Rule.hashtbl_hash, 1) ]);
+    ("bad_hashtbl_order.ml", false, [ (Rule.hashtbl_order, 3) ]);
+    ("bad_swallow.ml", false, [ (Rule.swallowed_exception, 1) ]);
+    ("bad_ignored_result.ml", true, [ (Rule.ignored_result, 1) ]);
+    ( "bad_digest_compare.ml",
+      true,
+      [ (Rule.digest_compare, 1); (Rule.digest_compare, 2); (Rule.digest_compare, 3) ] );
+    ("bad_unsafe.ml", false, [ (Rule.unsafe_op, 1); (Rule.unsafe_op, 2) ]);
+    ("allowed_suppress.ml", false, []);
+  ]
+
+let test_fixture (name, needs_typed, expected) () =
+  let findings, typechecked = lint_fixture name in
+  (if needs_typed then
+     match typechecked with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "%s: typed pass did not run: %s" name e);
+  let got = List.map (fun f -> (f.Finding.rule, f.Finding.line)) findings in
+  Alcotest.(check (list (pair string int))) name expected got
+
+let test_catalogue_covered () =
+  (* every rule id in the catalogue is exercised by at least one fixture *)
+  let covered =
+    List.concat_map (fun (_, _, expected) -> List.map fst expected) corpus
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s has a fixture" id)
+        true
+        (List.exists (String.equal id) covered))
+    Rule.ids
+
+let test_findings_carry_locations () =
+  let findings, _ = lint_fixture "bad_unix.ml" in
+  match findings with
+  | [ f ] ->
+      Alcotest.(check string) "file" "lint_fixtures/bad_unix.ml" f.Finding.file;
+      Alcotest.(check bool) "column present" true (f.Finding.col >= 0);
+      Alcotest.(check bool) "message nonempty" true (String.length f.Finding.msg > 0)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_json_output () =
+  let findings, _ = lint_fixture "bad_unix.ml" in
+  let json = Finding.list_to_json findings in
+  Alcotest.(check bool) "has count" true (contains json "\"count\": 1");
+  Alcotest.(check bool) "names the rule" true (contains json Rule.unix)
+
+(* the merge gate: the repo's own sources (and their cmts, when built)
+   produce zero findings and zero errors *)
+let test_repo_lints_clean () =
+  if not (Sys.file_exists "../lib" && Sys.is_directory "../lib") then
+    Alcotest.skip ()
+  else begin
+    let run = Lint.lint_tree ~root:".." [ "lib" ] in
+    List.iter (fun e -> Printf.eprintf "lint error: %s\n" e) run.Lint.errors;
+    List.iter
+      (fun f -> Printf.eprintf "finding: %s\n" (Finding.to_string f))
+      run.Lint.findings;
+    Alcotest.(check (list string)) "no errors" [] run.Lint.errors;
+    Alcotest.(check int) "no findings" 0 (List.length run.Lint.findings);
+    Alcotest.(check bool) "scanned the tree" true (run.Lint.files_scanned >= 30)
+  end
+
+let suites =
+  [
+    ( "lint.fixtures",
+      List.map
+        (fun ((name, _, _) as case) -> Alcotest.test_case name `Quick (test_fixture case))
+        corpus
+      @ [
+          Alcotest.test_case "catalogue covered" `Quick test_catalogue_covered;
+          Alcotest.test_case "finding locations" `Quick test_findings_carry_locations;
+          Alcotest.test_case "json output" `Quick test_json_output;
+        ] );
+    ("lint.repo", [ Alcotest.test_case "lib/ lints clean" `Quick test_repo_lints_clean ]);
+  ]
