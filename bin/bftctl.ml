@@ -227,6 +227,58 @@ let fuzz_cmd =
              under fault injection — this deliberately plants failures to demonstrate \
              that shrinking reports a minimal replayable schedule.")
   in
+  let drain_arg =
+    Arg.(
+      value & opt float 60_000_000.0
+      & info [ "drain-us" ] ~doc:"Post-quiesce virtual time allowed for completion.")
+  in
+  let ckpt_arg =
+    Arg.(value & opt int 8 & info [ "checkpoint-interval" ] ~doc:"Checkpoint every K seqnos.")
+  in
+  let vc_timeout_arg =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "vc-timeout-us" ] ~doc:"Initial view-change timeout (doubles).")
+  in
+  let status_arg =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "status-us" ] ~doc:"Replica status-retransmission interval.")
+  in
+  let liveness_arg =
+    Arg.(
+      value & flag
+      & info [ "check-liveness" ]
+          ~doc:
+            "Fail runs that do not commit every issued operation (liveness oracles; used \
+             when replaying explorer counterexamples).")
+  in
+  let view_bound_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "view-bound" ] ~docv:"V"
+          ~doc:"Liveness: fail if the view passes V without the workload completing.")
+  in
+  let free_costs_arg =
+    Arg.(
+      value & flag
+      & info [ "free-costs" ]
+          ~doc:"Zero CPU costs and constant 1us wire delay (explorer replay conditions).")
+  in
+  let no_quiesce_arg =
+    Arg.(
+      value & flag
+      & info [ "no-quiesce" ]
+          ~doc:"Do not heal faults at the horizon; replica faults persist to the end.")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-no-vc-timer" ]
+          ~doc:
+            "Injected bug: backups never arm the view-change timer (validates that the \
+             liveness oracles catch a real stall).")
+  in
   let print_failure params (r : Bft_check.Runner.run_result) =
     Printf.printf "FAILED oracles:\n";
     List.iter (fun f -> Printf.printf "  %s\n" f) r.Bft_check.Runner.failures;
@@ -247,7 +299,9 @@ let fuzz_cmd =
           (Bft_obs.Obs.events ~last:25 o))
       (Bft_obs.Obs.nodes reg)
   in
-  let run verbose f seed seeds clients ops horizon_us schedule expect_no_view_change =
+  let run verbose f seed seeds clients ops horizon_us schedule expect_no_view_change
+      drain_us checkpoint_interval vc_timeout_us status_interval_us check_liveness
+      view_bound free_costs no_quiesce inject_no_vc_timer =
     setup_logs verbose;
     let params =
       {
@@ -256,6 +310,15 @@ let fuzz_cmd =
         ops_per_client = ops;
         horizon_us;
         expect_no_view_change;
+        drain_us;
+        checkpoint_interval;
+        vc_timeout_us;
+        status_interval_us;
+        check_liveness;
+        view_bound;
+        free_costs;
+        quiesce = not no_quiesce;
+        suppress_vc_timer = inject_no_vc_timer;
       }
     in
     match schedule with
@@ -311,7 +374,142 @@ let fuzz_cmd =
          "Randomized Byzantine fault-schedule fuzzing with safety oracles and shrinking.")
     Term.(
       const run $ verbose $ f_arg $ seed_arg $ seeds_arg $ clients_arg $ ops_arg $ horizon_arg
-      $ schedule_arg $ no_vc_arg)
+      $ schedule_arg $ no_vc_arg $ drain_arg $ ckpt_arg $ vc_timeout_arg $ status_arg
+      $ liveness_arg $ view_bound_arg $ free_costs_arg $ no_quiesce_arg $ inject_arg)
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let clients_arg = Arg.(value & opt int 1 & info [ "clients" ] ~doc:"Closed-loop clients.") in
+  let ops_arg = Arg.(value & opt int 1 & info [ "ops" ] ~doc:"Operations per client.") in
+  let view_bound_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "view-bound" ] ~docv:"V"
+          ~doc:"Liveness: flag executions whose view passes V without completing.")
+  in
+  let vc_timeout_arg =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "vc-timeout-us" ] ~doc:"Initial view-change timeout (doubles).")
+  in
+  let ckpt_arg =
+    Arg.(value & opt int 8 & info [ "checkpoint-interval" ] ~doc:"Checkpoint every K seqnos.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 250_000.0
+      & info [ "tick-horizon-us" ]
+          ~doc:"Virtual-time bound on ticks; cuts infinite retransmission chains.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 60 & info [ "max-depth" ] ~doc:"Per-path choice bound.")
+  in
+  let states_arg =
+    Arg.(value & opt int 50_000 & info [ "max-states" ] ~doc:"State-build budget.")
+  in
+  let wall_arg =
+    Arg.(value & opt float 300.0 & info [ "max-wall-s" ] ~doc:"Wall-clock budget, seconds.")
+  in
+  let dfs_arg = Arg.(value & flag & info [ "dfs" ] ~doc:"Depth-first frontier (default BFS).") in
+  let no_por_arg =
+    Arg.(value & flag & info [ "no-por" ] ~doc:"Disable sleep-set partial-order reduction.")
+  in
+  let no_fifo_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fifo" ]
+          ~doc:
+            "Explore arbitrary per-link reordering instead of per-link FIFO delivery \
+             (rarely exhaustible).")
+  in
+  let keep_going_arg =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ] ~doc:"Collect every violation instead of stopping at the first.")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-no-vc-timer" ]
+          ~doc:"Injected bug: backups never arm the view-change timer.")
+  in
+  let prefix_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "prefix" ] ~docv:"SCHED"
+          ~doc:"Fault schedule injected before exploration (e.g. '0@mute:1').")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE" ~doc:"Write the statistics report as JSON.")
+  in
+  let run verbose f seed clients ops view_bound vc_timeout_us checkpoint_interval
+      tick_horizon_us max_depth max_states max_wall_s dfs no_por no_fifo keep_going
+      inject_no_vc_timer prefix stats_json =
+    setup_logs verbose;
+    let prefix =
+      match prefix with
+      | None -> []
+      | Some s -> (
+          match Bft_check.Schedule.of_string s with
+          | Ok sched -> sched
+          | Error e ->
+              Printf.eprintf "bad --prefix: %s\n" e;
+              exit 2)
+    in
+    let c =
+      {
+        (Bft_explore.Explore.default_config ~seed) with
+        Bft_explore.Explore.f;
+        clients;
+        ops_per_client = ops;
+        view_bound;
+        vc_timeout_us;
+        checkpoint_interval;
+        tick_horizon_us;
+        max_depth;
+        max_states;
+        max_wall_s;
+        strategy = (if dfs then Bft_explore.Explore.Dfs else Bft_explore.Explore.Bfs);
+        por = not no_por;
+        fifo_links = not no_fifo;
+        stop_on_violation = not keep_going;
+        suppress_vc_timer = inject_no_vc_timer;
+        prefix;
+      }
+    in
+    let o = Bft_explore.Explore.run ~log:(fun m -> Printf.printf "%s\n%!" m) c in
+    Format.printf "%a@." Bft_explore.Explore.pp_stats o.Bft_explore.Explore.o_stats;
+    Printf.printf "exhausted: %b\n" o.Bft_explore.Explore.o_exhausted;
+    (match stats_json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Bft_explore.Explore.stats_json o.Bft_explore.Explore.o_stats);
+        output_char oc '\n';
+        close_out oc);
+    List.iter
+      (fun (v : Bft_explore.Explore.violation) ->
+        Printf.printf "VIOLATION (%s) at depth %d:\n"
+          (match v.Bft_explore.Explore.v_kind with `Safety -> "safety" | `Liveness -> "liveness")
+          v.Bft_explore.Explore.v_depth;
+        List.iter (fun fl -> Printf.printf "  %s\n" fl) v.Bft_explore.Explore.v_failures;
+        Printf.printf "schedule: %s\n" (Bft_check.Schedule.to_string v.Bft_explore.Explore.v_schedule);
+        Printf.printf "replay: %s\n" v.Bft_explore.Explore.v_replay)
+      o.Bft_explore.Explore.o_violations;
+    if o.Bft_explore.Explore.o_violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded exhaustive exploration of delivery/timer interleavings with safety and \
+          liveness oracles (small configs; POR + state hashing).")
+    Term.(
+      const run $ verbose $ f_arg $ seed_arg $ clients_arg $ ops_arg $ view_bound_arg
+      $ vc_timeout_arg $ ckpt_arg $ horizon_arg $ depth_arg $ states_arg $ wall_arg $ dfs_arg
+      $ no_por_arg $ no_fifo_arg $ keep_going_arg $ inject_arg $ prefix_arg $ stats_json_arg)
 
 (* --- trace / metrics --- *)
 
@@ -460,6 +658,7 @@ let () =
             recover_cmd;
             model_cmd;
             fuzz_cmd;
+            explore_cmd;
             trace_cmd;
             metrics_cmd;
           ]))

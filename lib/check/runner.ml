@@ -12,7 +12,13 @@ type params = {
   drain_us : float;
   checkpoint_interval : int;
   vc_timeout_us : float;
+  status_interval_us : float;
   expect_no_view_change : bool;
+  check_liveness : bool;
+  view_bound : int option;
+  free_costs : bool;
+  quiesce : bool;
+  suppress_vc_timer : bool;
 }
 
 let default_params ~seed ~f =
@@ -27,7 +33,13 @@ let default_params ~seed ~f =
     drain_us = 60_000_000.0;
     checkpoint_interval = 8;
     vc_timeout_us = 30_000.0;
+    status_interval_us = 10_000.0;
     expect_no_view_change = false;
+    check_liveness = false;
+    view_bound = None;
+    free_costs = false;
+    quiesce = true;
+    suppress_vc_timer = false;
   }
 
 type sim_counters = {
@@ -65,14 +77,45 @@ let generate params =
   Schedule.generate ~rng:(schedule_rng params.seed) ~f:params.f ~n
     ~horizon_us:params.horizon_us
 
-let run_schedule ?obs params sched =
+(* ------------------------------------------------------------------ *)
+(* Prepared (in-flight) runs                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [prepare] builds the cluster and schedules everything — fault events,
+   quiesce, probes, client drivers — but does not advance the engine, so a
+   caller (the exhaustive explorer) can single-step deliveries itself and
+   call [finish] whenever it wants the oracles evaluated.  [run_schedule]
+   is exactly [prepare] + run-to-completion + [finish]. *)
+type live = {
+  lv_params : params;
+  lv_sched : Schedule.t;
+  lv_cluster : Cluster.t;
+  lv_completed : (int * string * string) list ref;
+  lv_n_completed : int ref;
+  lv_total_ops : int;
+  lv_monotonic : string list ref;
+}
+
+let prepare ?obs ?(monotonic_probes = true) params sched =
   let cfg =
     Config.make ~f:params.f ~checkpoint_interval:params.checkpoint_interval
-      ~vc_timeout_us:params.vc_timeout_us ()
+      ~vc_timeout_us:params.vc_timeout_us ~status_interval_us:params.status_interval_us
+      ~debug_no_vc_timer:params.suppress_vc_timer ()
+  in
+  (* Free costs must silence the service's execution-cost model too:
+     otherwise executing a request leaves the replica CPU busy, a
+     subsequent gated release lands in its backlog, and the pending drain
+     event is extra hidden state the explorer's time-abstract hashing
+     cannot see. *)
+  let service =
+    if params.free_costs then fun () ->
+      { (service ()) with Bft_sm.Service.exec_cost_us = (fun _ -> 0.0) }
+    else service
   in
   let cluster =
-    Cluster.create ~seed:(Int64.of_int params.seed) ~service ~num_clients:params.clients
-      ?obs cfg
+    Cluster.create ~seed:(Int64.of_int params.seed)
+      ?costs:(if params.free_costs then Some Bft_net.Costs.free else None)
+      ~service ~num_clients:params.clients ?obs cfg
   in
   let engine = Cluster.engine cluster and net = Cluster.network cluster in
   let n = cfg.Config.n in
@@ -120,80 +163,117 @@ let run_schedule ?obs params sched =
     | Schedule.Clear_rules ->
         rules := [];
         install ()
+    | Schedule.Hold_all -> Network.set_gate net true
+    | Schedule.Release (c, s, d, nth) ->
+        ignore
+          (Network.release_held net ~nth ~pred:(fun ~src ~dst msg ->
+               (match s with None -> true | Some x -> x = src)
+               && (match d with None -> true | Some x -> x = dst)
+               && Schedule.matches c msg.Message.body))
+    | Schedule.Release_all -> Network.release_all_held net
   in
   List.iter
     (fun e ->
       ignore
-        (Engine.schedule_at engine (Engine.of_us_float e.Schedule.at_us) (fun () ->
-             apply e.Schedule.action)))
+        (Engine.schedule_at engine ~label:"sched"
+           (Engine.of_us_float e.Schedule.at_us)
+           (fun () -> apply e.Schedule.action)))
     sched;
   (* quiesce at the horizon: the network heals completely and faulty
      replicas are repaired (they stay excluded from the oracles), so a live
-     run can finish its workload within the drain window *)
-  ignore
-    (Engine.schedule_at engine
-       (Engine.of_us_float params.horizon_us)
-       (fun () ->
-         rules := [];
-         Network.reset_faults net;
-         List.iter
-           (fun i ->
-             Replica.byzantine_equivocate (Cluster.replica cluster i) false;
-             Replica.mute (Cluster.replica cluster i) false)
-           victims));
-  (* monotonicity probes on correct replicas every 20ms of virtual time *)
+     run can finish its workload within the drain window.  Liveness-probe
+     runs disable this: the question there is whether the system makes
+     progress once the network turns timely, with replica faults intact. *)
+  if params.quiesce then
+    ignore
+      (Engine.schedule_at engine ~label:"quiesce"
+         (Engine.of_us_float params.horizon_us)
+         (fun () ->
+           rules := [];
+           Network.reset_faults net;
+           List.iter
+             (fun i ->
+               Replica.byzantine_equivocate (Cluster.replica cluster i) false;
+               Replica.mute (Cluster.replica cluster i) false)
+             victims));
+  (* monotonicity probes on correct replicas every 20ms of virtual time.
+     The explorer turns these off — probe events would pollute its timer
+     enumeration — and checks monotonicity parent-against-child instead. *)
   let monotonic_violations = ref [] in
-  let prev = Array.init n (fun i ->
-      let r = Cluster.replica cluster i in
-      (Replica.view r, Replica.low_water_mark r))
-  in
-  let deadline = Engine.of_us_float (params.horizon_us +. params.drain_us) in
-  let rec probe () =
-    List.iter
-      (fun i ->
+  if monotonic_probes then begin
+    let prev = Array.init n (fun i ->
         let r = Cluster.replica cluster i in
-        let v = Replica.view r and h = Replica.low_water_mark r in
-        let pv, ph = prev.(i) in
-        if v < pv then
-          monotonic_violations :=
-            Printf.sprintf "replica %d view regressed from %d to %d" i pv v
-            :: !monotonic_violations;
-        if h < ph then
-          monotonic_violations :=
-            Printf.sprintf "replica %d low water mark regressed from %d to %d" i ph h
-            :: !monotonic_violations;
-        prev.(i) <- (max v pv, max h ph))
-      !(Cluster.correct_replicas cluster);
-    if Int64.compare (Engine.now engine) deadline < 0 then
-      ignore (Engine.schedule engine ~delay:(Engine.ms 20) probe)
-  in
-  probe ();
+        (Replica.view r, Replica.low_water_mark r))
+    in
+    let deadline = Engine.of_us_float (params.horizon_us +. params.drain_us) in
+    let rec probe () =
+      List.iter
+        (fun i ->
+          let r = Cluster.replica cluster i in
+          let v = Replica.view r and h = Replica.low_water_mark r in
+          let pv, ph = prev.(i) in
+          if v < pv then
+            monotonic_violations :=
+              Printf.sprintf "replica %d view regressed from %d to %d" i pv v
+              :: !monotonic_violations;
+          if h < ph then
+            monotonic_violations :=
+              Printf.sprintf "replica %d low water mark regressed from %d to %d" i ph h
+              :: !monotonic_violations;
+          prev.(i) <- (max v pv, max h ph))
+        !(Cluster.correct_replicas cluster);
+      if Int64.compare (Engine.now engine) deadline < 0 then
+        ignore (Engine.schedule engine ~label:"probe" ~delay:(Engine.ms 20) probe)
+    in
+    probe ()
+  end;
   (* closed-loop clients issuing unique writes *)
   let total_ops = params.clients * params.ops_per_client in
   let completed = ref [] and n_completed = ref 0 in
   let rec drive slot index =
     if index < params.ops_per_client then begin
       let cl = Cluster.client cluster slot in
+      let label = Printf.sprintf "drive%d" slot in
       if Client.busy cl then
-        ignore (Engine.schedule engine ~delay:(Engine.us 500) (fun () -> drive slot index))
+        ignore
+          (Engine.schedule engine ~label ~delay:(Engine.us 500) (fun () -> drive slot index))
       else
         let op = op_for ~client_slot:slot ~index in
         Client.invoke cl ~op (fun ~result ~latency_us:_ ->
             completed := (n + slot, op, result) :: !completed;
             incr n_completed;
-            ignore (Engine.schedule engine ~delay:(Engine.us 100) (fun () -> drive slot (index + 1))))
+            ignore
+              (Engine.schedule engine ~label ~delay:(Engine.us 100) (fun () ->
+                   drive slot (index + 1))))
     end
   in
   for slot = 0 to params.clients - 1 do
-    ignore (Engine.schedule engine ~delay:(Engine.us (137 * (slot + 1))) (fun () -> drive slot 0))
+    ignore
+      (Engine.schedule engine
+         ~label:(Printf.sprintf "drive%d" slot)
+         ~delay:(Engine.us (137 * (slot + 1)))
+         (fun () -> drive slot 0))
   done;
-  ignore
-    (Cluster.run_until
-       ~timeout_us:(params.horizon_us +. params.drain_us)
-       cluster
-       (fun () -> !n_completed >= total_ops));
+  {
+    lv_params = params;
+    lv_sched = sched;
+    lv_cluster = cluster;
+    lv_completed = completed;
+    lv_n_completed = n_completed;
+    lv_total_ops = total_ops;
+    lv_monotonic = monotonic_violations;
+  }
+
+let finish lv =
+  let params = lv.lv_params in
+  let cluster = lv.lv_cluster in
+  let cfg = Cluster.config cluster in
+  let engine = Cluster.engine cluster and net = Cluster.network cluster in
   let observed =
-    { Oracle.completed = !completed; monotonic_violations = List.rev !monotonic_violations }
+    {
+      Oracle.completed = !(lv.lv_completed);
+      monotonic_violations = List.rev !(lv.lv_monotonic);
+    }
   in
   let report = Oracle.evaluate ~cluster ~service ~observed in
   let correct = !(Cluster.correct_replicas cluster) in
@@ -218,12 +298,45 @@ let run_schedule ?obs params sched =
         ]
     else report
   in
+  (* liveness oracles: only meaningful on runs that were given every chance
+     to finish (a maximal execution in the explorer, or a drained fuzz run) *)
+  let incomplete = !(lv.lv_n_completed) < lv.lv_total_ops in
+  let report =
+    if params.check_liveness && incomplete then
+      report
+      @ [
+          {
+            Oracle.name = "liveness-progress";
+            result =
+              Error
+                (Printf.sprintf "only %d of %d issued operations committed"
+                   !(lv.lv_n_completed) lv.lv_total_ops);
+          };
+        ]
+    else report
+  in
+  let report =
+    match params.view_bound with
+    | Some bound when incomplete && max_view > bound ->
+        report
+        @ [
+            {
+              Oracle.name = "liveness-view-bound";
+              result =
+                Error
+                  (Printf.sprintf
+                     "view reached %d (bound %d) without committing the workload" max_view
+                     bound);
+            };
+          ]
+    | _ -> report
+  in
   {
-    schedule = sched;
+    schedule = lv.lv_sched;
     report;
     failures = Oracle.failures report;
-    completed_ops = !n_completed;
-    total_ops;
+    completed_ops = !(lv.lv_n_completed);
+    total_ops = lv.lv_total_ops;
     view_changes;
     max_view;
     history_digest = Cluster.committed_history_digest cluster;
@@ -238,6 +351,15 @@ let run_schedule ?obs params sched =
          sc_max_heap = Engine.max_heap_size engine;
        });
   }
+
+let run_schedule ?obs params sched =
+  let lv = prepare ?obs params sched in
+  ignore
+    (Cluster.run_until
+       ~timeout_us:(params.horizon_us +. params.drain_us)
+       lv.lv_cluster
+       (fun () -> !(lv.lv_n_completed) >= lv.lv_total_ops));
+  finish lv
 
 let run_seed params = run_schedule params (generate params)
 
@@ -282,11 +404,30 @@ let shrink ?(budget = 200) params sched =
   end
 
 let replay_line params sched =
+  let d = default_params ~seed:params.seed ~f:params.f in
+  let opt b s = if b then s else "" in
   Printf.sprintf
-    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s"
+    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s%s%s%s%s%s%s%s%s%s"
     params.seed params.f params.clients params.ops_per_client params.horizon_us
     (Schedule.to_string sched)
-    (if params.expect_no_view_change then " --expect-no-view-change" else "")
+    (opt (params.drain_us <> d.drain_us) (Printf.sprintf " --drain-us %.0f" params.drain_us))
+    (opt
+       (params.checkpoint_interval <> d.checkpoint_interval)
+       (Printf.sprintf " --checkpoint-interval %d" params.checkpoint_interval))
+    (opt
+       (params.vc_timeout_us <> d.vc_timeout_us)
+       (Printf.sprintf " --vc-timeout-us %.0f" params.vc_timeout_us))
+    (opt
+       (params.status_interval_us <> d.status_interval_us)
+       (Printf.sprintf " --status-us %.0f" params.status_interval_us))
+    (opt params.expect_no_view_change " --expect-no-view-change")
+    (opt params.check_liveness " --check-liveness")
+    (match params.view_bound with
+    | Some b -> Printf.sprintf " --view-bound %d" b
+    | None -> "")
+    (opt params.free_costs " --free-costs")
+    (opt (not params.quiesce) " --no-quiesce")
+    (opt params.suppress_vc_timer " --inject-no-vc-timer")
 
 (* ------------------------------------------------------------------ *)
 (* Seed enumeration                                                    *)

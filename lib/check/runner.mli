@@ -15,11 +15,35 @@ type params = {
   drain_us : float;  (** post-quiesce time allowed for completion *)
   checkpoint_interval : int;
   vc_timeout_us : float;
+  status_interval_us : float;  (** replica status-retransmission period *)
   expect_no_view_change : bool;
       (** Debug pseudo-oracle: fail the run if any correct replica started
           a view change. Views changes are {e expected} under fault
           injection — this exists to plant a failure on demand and
           demonstrate that shrinking reports a minimal schedule. *)
+  check_liveness : bool;
+      (** Evaluate the liveness oracles at the end of the run: a maximal
+          execution must commit every issued operation
+          ([liveness-progress]), and if [view_bound] is set the view must
+          not pass it without the workload completing
+          ([liveness-view-bound]). Off by default: an adversarial fuzz
+          schedule is free to starve progress without that being a bug. *)
+  view_bound : int option;  (** bound for [liveness-view-bound] *)
+  free_costs : bool;
+      (** Run with {!Bft_net.Costs.free}: zero CPU costs and a constant
+          1µs wire delay, so message processing is instantaneous at the
+          delivery instant. The explorer requires this — it makes a
+          released message's effects atomic with its release. *)
+  quiesce : bool;
+      (** Heal the network and repair faulty replicas at the horizon
+          (default). Liveness probes disable this so replica faults
+          persist: the probe asks whether the protocol recovers once the
+          network alone turns timely (the paper's weak-synchrony liveness
+          condition), not whether it recovers when the adversary vanishes. *)
+  suppress_vc_timer : bool;
+      (** Injected bug ({!Bft_core.Config.debug_no_vc_timer}): backups
+          never arm the view-change timer. Used to validate that the
+          explorer's liveness oracles catch a real stall. *)
 }
 
 val default_params : seed:int -> f:int -> params
@@ -56,6 +80,43 @@ val failed : run_result -> bool
 val generate : params -> Schedule.t
 (** The fault schedule derived deterministically from [params.seed]. *)
 
+(** {2 Prepared runs}
+
+    The exhaustive explorer needs to single-step the engine between
+    deliveries instead of running to completion, while reusing — by
+    construction, not by imitation — the exact cluster setup, schedule
+    application, and client workload of a fuzz run. [prepare] does all the
+    setup and scheduling without advancing the engine; [finish] evaluates
+    the oracles over whatever state the caller drove the cluster to.
+    [run_schedule] is [prepare] + run-to-completion + [finish]. *)
+
+type live = {
+  lv_params : params;
+  lv_sched : Schedule.t;
+  lv_cluster : Bft_core.Cluster.t;
+  lv_completed : (int * string * string) list ref;
+      (** [(client_id, op, result)] per accepted reply, most recent first *)
+  lv_n_completed : int ref;
+  lv_total_ops : int;
+  lv_monotonic : string list ref;
+}
+
+val prepare :
+  ?obs:Bft_obs.Obs.registry -> ?monotonic_probes:bool -> params -> Schedule.t -> live
+(** Build the cluster, inject the schedule's events at their virtual
+    times, arm the quiesce hook (unless [params.quiesce] is false), start
+    the monotonicity probes (unless [monotonic_probes:false] — the
+    explorer disables them because probe timers would pollute its event
+    enumeration, and checks monotonicity parent-against-child instead),
+    and start the closed-loop clients. The engine has not run: call
+    {!Bft_core.Cluster.run_until} or step it manually, then {!finish}. *)
+
+val finish : live -> run_result
+(** Evaluate every oracle over the current cluster state. Pure
+    observation: does not advance the engine, so the explorer may call it
+    at any point along a path (it is only meaningful where the caller
+    considers the execution terminal). *)
+
 val run_schedule : ?obs:Bft_obs.Obs.registry -> params -> Schedule.t -> run_result
 (** Build a cluster, inject the schedule's events at their virtual times,
     drive [clients] closed-loop clients through unique KV writes, quiesce
@@ -75,7 +136,8 @@ val shrink : ?budget:int -> params -> Schedule.t -> Schedule.t * run_result
     schedule does not fail, it is returned unchanged. *)
 
 val replay_line : params -> Schedule.t -> string
-(** A [bftctl fuzz] command line that reproduces the run exactly. *)
+(** A [bftctl fuzz] command line that reproduces the run exactly,
+    including any non-default liveness/exploration flags. *)
 
 type fuzz_outcome = {
   seeds_run : int;

@@ -28,6 +28,9 @@ type action =
   | Drop_class of msg_class * int option * int option
   | Delay_class of msg_class * int option * int option * float
   | Clear_rules
+  | Hold_all
+  | Release of msg_class * int option * int option * int
+  | Release_all
 
 type event = { at_us : float; action : action }
 type t = event list
@@ -249,10 +252,23 @@ let action_code = function
       Printf.sprintf "delay:%s:%s:%s:%g" (class_code c) (endpoint_code s)
         (endpoint_code d) us
   | Clear_rules -> "clear"
+  | Hold_all -> "hold"
+  | Release (c, s, d, nth) ->
+      Printf.sprintf "rel:%s:%s:%s:%d" (class_code c) (endpoint_code s) (endpoint_code d)
+        nth
+  | Release_all -> "relall"
+
+(* Event times must survive to_string/of_string exactly: explorer-emitted
+   schedules carry release instants that are neither small nor integral, and
+   "%g" keeps only 6 significant digits. Integers (every generator-produced
+   time) keep their historical compact form. *)
+let time_code at_us =
+  if Float.is_integer at_us && Float.abs at_us < 1e15 then Printf.sprintf "%.0f" at_us
+  else Printf.sprintf "%.17g" at_us
 
 let to_string t =
   String.concat ";"
-    (List.map (fun e -> Printf.sprintf "%g@%s" e.at_us (action_code e.action)) t)
+    (List.map (fun e -> Printf.sprintf "%s@%s" (time_code e.at_us) (action_code e.action)) t)
 
 let parse_error fmt = Printf.ksprintf (fun s -> Error s) fmt
 
@@ -279,6 +295,15 @@ let parse_action s =
   match String.split_on_char ':' s with
   | [ "heal" ] -> Ok Heal
   | [ "clear" ] -> Ok Clear_rules
+  | [ "hold" ] -> Ok Hold_all
+  | [ "relall" ] -> Ok Release_all
+  | [ "rel"; c; src; dst; nth ] -> (
+      match (class_of_code c, int_of_string_opt nth) with
+      | Some c, Some nth when nth >= 0 ->
+          let* src = parse_endpoint src in
+          let* dst = parse_endpoint dst in
+          Ok (Release (c, src, dst, nth))
+      | _ -> parse_error "bad release %S" s)
   | [ "loss"; p ] -> (
       match float_of_string_opt p with
       | Some p -> Ok (Set_loss p)

@@ -44,6 +44,14 @@ type action =
   | Delay_class of msg_class * int option * int option * float
       (** like [Drop_class] but adds the given microseconds of wire delay *)
   | Clear_rules  (** remove all installed adversary rules *)
+  | Hold_all
+      (** close the delivery gate: subsequent messages are held in a FIFO
+          instead of being delivered (see {!Bft_net.Network.set_gate}) *)
+  | Release of msg_class * int option * int option * int
+      (** deliver the nth (0-based) held message matching
+          [(class, src, dst)] ([None] = any endpoint); a no-op when fewer
+          matches are held *)
+  | Release_all  (** open the gate and deliver everything held, in order *)
 
 type event = { at_us : float; action : action }
 

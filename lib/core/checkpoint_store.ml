@@ -116,3 +116,15 @@ let certified_digest t ~threshold =
 
 let drop_above t bound =
   t.trees <- List.filter (fun tr -> Partition_tree.seq tr <= bound) t.trees
+
+let votes_canonical t =
+  Hashtbl.fold
+    (fun seq h acc ->
+      let vs =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Hashtbl.fold (fun r d a -> (r, d) :: a) h [])
+      in
+      (seq, vs) :: acc)
+    t.votes []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -56,3 +56,8 @@ val certified_digest : t -> threshold:int -> (int * string) option
 val drop_above : t -> int -> unit
 (** Discard trees with sequence numbers above the bound (recovery
     estimation, Section 4.3.2). *)
+
+val votes_canonical : t -> (int * (int * string) list) list
+(** Every retained CHECKPOINT vote as [(seq, [(replica, digest); ...])],
+    both levels sorted ascending — a canonical view of the certificate
+    state for the explorer's state fingerprint. *)

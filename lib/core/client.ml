@@ -95,7 +95,9 @@ let rec arm_timer t p =
   let delay = Float.min (base *. expo) t.d.cfg.Config.client_retry_max_us in
   p.p_timer <-
     Some
-      (Engine.schedule t.engine ~delay:(Engine.of_us_float delay) (fun () ->
+      (Engine.schedule t.engine
+         ~label:(Printf.sprintf "cretx%d" t.id)
+         ~delay:(Engine.of_us_float delay) (fun () ->
            p.p_timer <- None;
            if (match t.pending with Some p' -> p' == p | None -> false) then begin
              t.retransmissions <- t.retransmissions + 1;
@@ -264,3 +266,33 @@ let invoke t ?(read_only = false) ~op callback =
   in
   send_request t req ~to_all;
   arm_timer t p
+
+(* Canonical, time-abstract fingerprint for the exhaustive explorer: the
+   request in flight, replies collected so far (sorted by replica), and the
+   completion count. Clock-derived values (start time, smoothed RTT) and
+   retry counters that only stretch future timeouts are excluded — the
+   explorer abstracts timer durations away. *)
+let state_digest t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "c%d vg=%d ts=%Ld done=%d nr=%d|" t.id t.view_guess t.last_timestamp t.completed
+    t.next_replier;
+  (match t.pending with
+  | None -> add "idle"
+  | Some p ->
+      add "req=%s ts=%Ld ro=%b repl=%d bcast=%b promo=%b timer=%b(" p.p_req.op
+        p.p_req.timestamp p.p_req.read_only p.p_req.replier p.p_broadcast p.p_promoted
+        (match p.p_timer with Some h -> Engine.is_pending h | None -> false);
+      let replicas =
+        List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) p.p_replies [])
+      in
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt p.p_replies r with
+          | Some ri ->
+              add "%d:%b:%s:%b;" r ri.ri_tentative (Bft_util.Hex.encode ri.ri_digest)
+                (ri.ri_full <> None)
+          | None -> ())
+        replicas;
+      add ")");
+  Bft_crypto.Sha256.hexdigest (Buffer.contents b)

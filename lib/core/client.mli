@@ -50,3 +50,8 @@ val retransmissions : t -> int
 val byzantine_partial_auth : t -> bool -> unit
 (** Corrupt part of the request authenticator (some replicas can verify it,
     others cannot) — the faulty-client scenario of Section 3.2.2. *)
+
+val state_digest : t -> string
+(** Canonical, time-abstract fingerprint of the client-proxy state for the
+    exhaustive explorer (in-flight request, collected replies sorted by
+    replica, completion count; no clock-derived values). *)

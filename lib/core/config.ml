@@ -22,6 +22,7 @@ type t = {
   watchdog_period_us : float;
   key_refresh_us : float;
   null_exec_cost_us : float;
+  debug_no_vc_timer : bool;
 }
 
 let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_batch = 16)
@@ -30,7 +31,8 @@ let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_ba
     ?(client_retry_us = 20_000.0) ?(client_retry_max_us = 60_000_000.0)
     ?(vc_timeout_us = 50_000.0)
     ?(status_interval_us = 10_000.0) ?(recovery = false)
-    ?(watchdog_period_us = 2_000_000.0) ?(key_refresh_us = 500_000.0) ~f () =
+    ?(watchdog_period_us = 2_000_000.0) ?(key_refresh_us = 500_000.0)
+    ?(debug_no_vc_timer = false) ~f () =
   if f < 1 then invalid_arg "Config.make: f must be >= 1";
   let log_size = match log_size with Some l -> l | None -> 2 * checkpoint_interval in
   if log_size < checkpoint_interval then
@@ -57,6 +59,7 @@ let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_ba
     watchdog_period_us;
     key_refresh_us;
     null_exec_cost_us = 2.0;
+    debug_no_vc_timer;
   }
 
 let primary t ~view = view mod t.n

@@ -35,6 +35,11 @@ type t = {
   watchdog_period_us : float;
   key_refresh_us : float;  (** session-key refresh period *)
   null_exec_cost_us : float;
+  debug_no_vc_timer : bool;
+      (** Injected bug for explorer/fuzzer validation: backups never arm
+          the view-change timer, so a faulty primary is never displaced —
+          the liveness oracles must catch the resulting stall. Never set
+          outside tests. *)
 }
 
 val make :
@@ -56,6 +61,7 @@ val make :
   ?recovery:bool ->
   ?watchdog_period_us:float ->
   ?key_refresh_us:float ->
+  ?debug_no_vc_timer:bool ->
   f:int ->
   unit ->
   t

@@ -440,10 +440,11 @@ let stop_vc_timer t =
   | None -> ()
 
 let start_vc_timer t =
-  if t.vc_timer = None then
+  if t.vc_timer = None && not t.d.cfg.Config.debug_no_vc_timer then
     t.vc_timer <-
       Some
         (Engine.schedule t.engine
+           ~label:(Printf.sprintf "vc%d" t.id)
            ~delay:(Engine.of_us_float t.vc_timeout_us)
            (fun () ->
              t.vc_timer <- None;
@@ -1205,6 +1206,7 @@ let start_view_change t new_view =
     t.vc_timer <-
       Some
         (Engine.schedule t.engine
+           ~label:(Printf.sprintf "vc%d" t.id)
            ~delay:(Engine.of_us_float t.vc_timeout_us)
            (fun () ->
              t.vc_timer <- None;
@@ -1370,7 +1372,9 @@ let rec transfer_retry t =
         (Hashtbl.copy tx.tx_pending);
       tx.tx_timer <-
         Some
-          (Engine.schedule t.engine ~delay:(Engine.of_us_float 30_000.0) (fun () ->
+          (Engine.schedule t.engine
+             ~label:(Printf.sprintf "tx%d" t.id)
+             ~delay:(Engine.of_us_float 30_000.0) (fun () ->
                transfer_retry t))
 
 let start_transfer t ~target ~root_digest =
@@ -1402,7 +1406,9 @@ let start_transfer t ~target ~root_digest =
       send_fetch t ~level:0 ~index:0;
       tx.tx_timer <-
         Some
-          (Engine.schedule t.engine ~delay:(Engine.of_us_float 30_000.0) (fun () ->
+          (Engine.schedule t.engine
+             ~label:(Printf.sprintf "tx%d" t.id)
+             ~delay:(Engine.of_us_float 30_000.0) (fun () ->
                transfer_retry t))
 
 let local_tree t = Checkpoint_store.latest t.ckpts
@@ -2105,7 +2111,9 @@ let rec recovery_tick t =
           | None -> ())
       | `Fetching -> !recovery_step_ref t);
       ignore
-        (Engine.schedule t.engine ~delay:(Engine.of_us_float 50_000.0) (fun () ->
+        (Engine.schedule t.engine
+           ~label:(Printf.sprintf "rec%d" t.id)
+           ~delay:(Engine.of_us_float 50_000.0) (fun () ->
              recovery_tick t))
 
 let handle_reply_stable t (r : reply_stable) =
@@ -2194,7 +2202,9 @@ let begin_recovery t =
         };
     broadcast t (Query_stable { qs_replica = t.id; qs_nonce = nonce });
     ignore
-      (Engine.schedule t.engine ~delay:(Engine.of_us_float 50_000.0) (fun () ->
+      (Engine.schedule t.engine
+         ~label:(Printf.sprintf "rec%d" t.id)
+         ~delay:(Engine.of_us_float 50_000.0) (fun () ->
            recovery_tick t))
   end
 
@@ -2379,6 +2389,7 @@ let rec schedule_status t =
   t.status_timer <-
     Some
       (Engine.schedule t.engine
+         ~label:(Printf.sprintf "status%d" t.id)
          ~delay:(Engine.of_us_float t.d.cfg.Config.status_interval_us)
          (fun () ->
            send_status t;
@@ -2387,7 +2398,9 @@ let rec schedule_status t =
 let rec schedule_watchdog t delay_us =
   t.watchdog_timer <-
     Some
-      (Engine.schedule t.engine ~delay:(Engine.of_us_float delay_us) (fun () ->
+      (Engine.schedule t.engine
+         ~label:(Printf.sprintf "wd%d" t.id)
+         ~delay:(Engine.of_us_float delay_us) (fun () ->
            begin_recovery t;
            schedule_watchdog t t.d.cfg.Config.watchdog_period_us))
 
@@ -2395,6 +2408,7 @@ let rec schedule_key_refresh t =
   t.key_timer <-
     Some
       (Engine.schedule t.engine
+         ~label:(Printf.sprintf "key%d" t.id)
          ~delay:(Engine.of_us_float t.d.cfg.Config.key_refresh_us)
          (fun () ->
            send_new_key t;
@@ -2473,3 +2487,185 @@ let crash_reboot t =
   stop_vc_timer t;
   t.active <- true;
   send_status t
+
+(* ------------------------------------------------------------------ *)
+(* Canonical state fingerprint (exhaustive exploration)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sorted views of Hashtbl contents so iteration order never reaches the
+   fingerprint. *)
+let hexd = Bft_util.Hex.encode
+let hstr s = Bft_crypto.Sha256.hexdigest s
+
+let sorted_int_keys h = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let sorted_string_keys h =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let sorted_pair_keys h =
+  List.sort
+    (fun (a, b) (c, d) -> match Int.compare a c with 0 -> Int.compare b d | x -> x)
+    (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+(* Time-abstract digest of the full protocol state: everything that can
+   influence future behavior or an oracle verdict, nothing derived from the
+   virtual clock (no deadlines, no latencies). Two explorer states with
+   equal digests must be behaviorally equivalent, so every unordered
+   container is serialized in sorted order; ordered structures (FIFOs,
+   deferred lists) keep their order because the protocol consumes them in
+   order. *)
+let state_digest t =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "r%d v=%d act=%b seqno=%d le=%d cu=%d lw=%d byz=%b muted=%b fill=%d hmb=%d vct=%h vcarm=%b|"
+    t.id t.view t.active t.seqno t.last_exec t.committed_upto (Log.low_mark t.log)
+    t.byzantine t.muted t.null_fill_until
+    (if t.hm_bound = max_int then -1 else t.hm_bound)
+    t.vc_timeout_us
+    (match t.vc_timer with Some h -> Engine.is_pending h | None -> false);
+  (* message log, ascending sequence *)
+  Log.iter_window t.log (fun e ->
+      add "L%d pv=%d self=%b ex=%b tent=%b d=%s(" e.Log.seq e.Log.pp_view
+        e.Log.self_preprepared e.Log.executed e.Log.exec_tentative
+        (match e.Log.pp_digest with Some d -> hexd d | None -> "-");
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt e.Log.prepares k with
+          | Some (v, d) -> add "p%d:%d:%s;" k v (hexd d)
+          | None -> ())
+        (sorted_int_keys e.Log.prepares);
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt e.Log.commits k with
+          | Some (v, d) -> add "c%d:%d:%s;" k v (hexd d)
+          | None -> ())
+        (sorted_int_keys e.Log.commits);
+      add ")");
+  add "|ck:";
+  List.iter (fun (s, d) -> add "%d:%s;" s (hexd d)) (checkpoints_held t);
+  add "stable=%d votes:" (Checkpoint_store.stable_seq t.ckpts);
+  List.iter
+    (fun (seq, vs) ->
+      add "%d(" seq;
+      List.iter (fun (r, d) -> add "%d:%s;" r (hexd d)) vs;
+      add ")")
+    (Checkpoint_store.votes_canonical t.ckpts);
+  add "|req:";
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt t.requests d with
+      | Some sr -> add "%s:%b;" (hexd d) sr.sr_verified
+      | None -> ())
+    (sorted_string_keys t.requests);
+  add "|bat:";
+  List.iter (fun d -> add "%s;" (hexd d)) (sorted_string_keys t.batches);
+  add "|queue:";
+  List.iter (fun r -> add "%s;" (hexd (Wire.request_digest r))) t.queue;
+  add "|assigned:";
+  List.iter (fun d -> add "%s;" (hexd d)) (sorted_string_keys t.assigned);
+  add "|waiting:";
+  List.iter (fun d -> add "%s;" (hexd d)) (sorted_string_keys t.waiting);
+  add "|defpp:";
+  List.iter
+    (fun pp -> add "%s;" (hstr (Wire.encode (Pre_prepare pp))))
+    t.deferred_pps;
+  add "|ro:";
+  List.iter (fun r -> add "%s;" (hexd (Wire.request_digest r))) t.pending_ro;
+  add "|ckann:";
+  List.iter (fun s -> add "%d;" s) t.pending_ckpt_announce;
+  add "|psync=%s" (match t.paged_sync with Some s -> string_of_int s | None -> "-");
+  (* view-change state *)
+  add "|pset:";
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.pset k with
+      | Some pe ->
+          add "%d:%d:%d:%s;" k pe.pe_seq pe.pe_view (hexd pe.pe_digest)
+      | None -> ())
+    (sorted_int_keys t.pset);
+  add "|qset:";
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.qset k with
+      | Some l ->
+          add "%d(" k;
+          List.iter (fun (d, v) -> add "%s:%d;" (hexd d) v) l;
+          add ")"
+      | None -> ())
+    (sorted_int_keys t.qset);
+  add "|myvc:";
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt t.my_vcs v with
+      | Some vc -> add "%d:%s;" v (hexd (Wire.view_change_digest vc))
+      | None -> ())
+    (sorted_int_keys t.my_vcs);
+  add "|vcs:";
+  List.iter
+    (fun ((v, s) as k) ->
+      match Hashtbl.find_opt t.vcs k with
+      | Some (vc, verified) ->
+          add "%d:%d:%s:%b;" v s (hexd (Wire.view_change_digest vc)) verified
+      | None -> ())
+    (sorted_pair_keys t.vcs);
+  add "|acks:";
+  List.iter
+    (fun ((v, o) as k) ->
+      match Hashtbl.find_opt t.acks k with
+      | Some inner ->
+          add "%d:%d(" v o;
+          List.iter
+            (fun a ->
+              match Hashtbl.find_opt inner a with
+              | Some d -> add "%d:%s;" a (hexd d)
+              | None -> ())
+            (sorted_int_keys inner);
+          add ")"
+      | None -> ())
+    (sorted_pair_keys t.acks);
+  add "|myacks:";
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt t.my_acks v with
+      | Some l -> add "%d:%d;" v (List.length l)
+      | None -> ())
+    (sorted_int_keys t.my_acks);
+  add "|nv:";
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt t.new_views v with
+      | Some nv -> add "%d:%s;" v (hstr (Wire.encode (New_view nv)))
+      | None -> ())
+    (sorted_int_keys t.new_views);
+  add "|defnv=%s"
+    (match t.deferred_nv with
+    | Some nv -> hstr (Wire.encode (New_view nv))
+    | None -> "-");
+  (* state transfer / recovery, coarse but canonical *)
+  (match t.transfer with
+  | None -> add "|tx=-"
+  | Some tx ->
+      add "|tx=%d:%d:%d:%d:pend%d:pages%d:ok%d" tx.tx_target tx.tx_replier tx.tx_page_level
+        tx.tx_num_pages (Hashtbl.length tx.tx_pending) (Hashtbl.length tx.tx_pages)
+        (Hashtbl.length tx.tx_ok_pages));
+  (match t.recovering with
+  | None -> add "|rec=-"
+  | Some rc ->
+      add "|rec=%s:%d:%d:est%d:rep%d"
+        (match rc.rc_phase with
+        | `Estimating -> "est"
+        | `Waiting_recovery_reply -> "wait"
+        | `Fetching -> "fetch")
+        rc.rc_est_hm rc.rc_recovery_point (Hashtbl.length rc.rc_est)
+        (Hashtbl.length rc.rc_replies));
+  (* execution journal: rollback-proof committed content, newest first *)
+  add "|journal:";
+  List.iter
+    (fun (seq, recs) ->
+      add "%d(" seq;
+      List.iter (fun (c, op, res) -> add "%d:%s:%s;" c op (hstr res)) recs;
+      add ")")
+    t.batch_journal;
+  (* service state + reply cache *)
+  add "|snap:%s" (hstr (full_snapshot t));
+  Bft_crypto.Sha256.hexdigest (Buffer.contents b)

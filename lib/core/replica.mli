@@ -126,3 +126,11 @@ val counters : t -> counters
 
 val debug_dump : t -> string
 (** One-line internal state rendering for debugging and tests. *)
+
+val state_digest : t -> string
+(** Canonical, time-abstract fingerprint of the replica's protocol state
+    (log, certificates, view-change state, queues, journal, service
+    snapshot, reply cache) for the exhaustive explorer. Every unordered
+    container is serialized in sorted order, so two logically identical
+    states reached through different message interleavings hash equal; no
+    clock- or deadline-derived value is included. *)

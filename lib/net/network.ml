@@ -32,6 +32,11 @@ type 'msg t = {
   link_loss : (int * int, float) Hashtbl.t;
   mutable adversary :
     (src:int -> dst:int -> 'msg -> [ `Pass | `Drop | `Delay of float ]) option;
+  (* delivery gate: while set, messages that survive the adversary and loss
+     are appended here (FIFO) instead of being put on the wire; the
+     explorer releases them one at a time to enumerate delivery orders *)
+  mutable gate : bool;
+  mutable held : (int * int * int * 'msg) list; (* (src, dst, size, msg), oldest first *)
 }
 
 let create ~engine ~costs ~rng () =
@@ -47,6 +52,8 @@ let create ~engine ~costs ~rng () =
     partition = None;
     link_loss = Hashtbl.create 8;
     adversary = None;
+    gate = false;
+    held = [];
   }
 
 let engine t = t.engine
@@ -109,7 +116,11 @@ let rec drain t ~dst =
   else begin
     let now = Engine.now t.engine in
     if Int64.compare n.busy_until now > 0 then
-      ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))
+      ignore
+        (Engine.schedule_at t.engine
+           ~label:(Printf.sprintf "drain%d" dst)
+           n.busy_until
+           (fun () -> drain t ~dst))
     else
       match Queue.take_opt n.backlog with
       | None -> n.draining <- false
@@ -117,8 +128,17 @@ let rec drain t ~dst =
           process t n ~size msg;
           if Queue.is_empty n.backlog then n.draining <- false
           else if Int64.compare n.busy_until now > 0 then
-            ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))
-          else ignore (Engine.schedule_at t.engine now (fun () -> drain t ~dst))
+            ignore
+              (Engine.schedule_at t.engine
+                 ~label:(Printf.sprintf "drain%d" dst)
+                 n.busy_until
+                 (fun () -> drain t ~dst))
+          else
+            ignore
+              (Engine.schedule_at t.engine
+                 ~label:(Printf.sprintf "drain%d" dst)
+                 now
+                 (fun () -> drain t ~dst))
   end
 
 let deliver t ~dst ~size msg =
@@ -131,7 +151,11 @@ let deliver t ~dst ~size msg =
       if depth > n.backlog_hwm then n.backlog_hwm <- depth;
       if not n.draining then begin
         n.draining <- true;
-        ignore (Engine.schedule_at t.engine n.busy_until (fun () -> drain t ~dst))
+        ignore
+          (Engine.schedule_at t.engine
+             ~label:(Printf.sprintf "drain%d" dst)
+             n.busy_until
+             (fun () -> drain t ~dst))
       end
     end
     else process t n ~size msg
@@ -163,13 +187,24 @@ let transmit t ~src ~dst ~size ~depart msg =
           in
           let wire = Costs.wire_us t.costs size +. jitter +. extra in
           let arrival = Int64.add depart (Engine.of_us_float wire) in
-          ignore (Engine.schedule_at t.engine arrival (fun () -> deliver t ~dst ~size msg));
+          if t.gate then t.held <- t.held @ [ (src, dst, size, msg) ]
+          else
+            ignore
+              (Engine.schedule_at t.engine
+                 ~label:(Printf.sprintf "wire%d>%d" src dst)
+                 arrival
+                 (fun () -> deliver t ~dst ~size msg));
           if Bft_util.Rng.bernoulli t.rng t.dup_rate then begin
             t.stat.duplicated <- t.stat.duplicated + 1;
             let extra_delay = Bft_util.Rng.float t.rng (2.0 *. t.costs.Costs.wire_latency_us) in
             let arrival2 = Int64.add arrival (Engine.of_us_float extra_delay) in
-            ignore
-              (Engine.schedule_at t.engine arrival2 (fun () -> deliver t ~dst ~size msg))
+            if t.gate then t.held <- t.held @ [ (src, dst, size, msg) ]
+            else
+              ignore
+                (Engine.schedule_at t.engine
+                   ~label:(Printf.sprintf "wire%d>%d" src dst)
+                   arrival2
+                   (fun () -> deliver t ~dst ~size msg))
           end
         end
   end
@@ -201,7 +236,11 @@ let multicast t ~src ~dsts ~size msg =
       (fun dst ->
         if dst = src then
           (* loopback: no wire, deliver as soon as the CPU is free *)
-          ignore (Engine.schedule_at t.engine depart (fun () -> deliver t ~dst ~size msg))
+          ignore
+            (Engine.schedule_at t.engine
+               ~label:(Printf.sprintf "loop%d" dst)
+               depart
+               (fun () -> deliver t ~dst ~size msg))
         else transmit t ~src ~dst ~size ~depart msg)
       dsts
   end
@@ -230,6 +269,42 @@ let clear_link_loss t = Hashtbl.reset t.link_loss
 let set_adversary t f = t.adversary <- Some f
 let clear_adversary t = t.adversary <- None
 
+(* --- delivery gate (exhaustive exploration, PR 6) --- *)
+
+let set_gate t on = t.gate <- on
+let gate_on t = t.gate
+let held t = List.map (fun (src, dst, _, msg) -> (src, dst, msg)) t.held
+
+let release_held t ~nth ~pred =
+  let rec go seen acc = function
+    | [] -> None
+    | ((src, dst, size, msg) as h) :: rest ->
+        if pred ~src ~dst msg then
+          if seen = nth then Some ((dst, size, msg), List.rev_append acc rest)
+          else go (seen + 1) (h :: acc) rest
+        else go seen (h :: acc) rest
+  in
+  match go 0 [] t.held with
+  | None -> false
+  | Some ((dst, size, msg), rest) ->
+      t.held <- rest;
+      deliver t ~dst ~size msg;
+      true
+
+let release_all_held t =
+  t.gate <- false;
+  (* delivering can trigger sends; with the gate now open they flow
+     normally, so the loop below only walks the snapshot taken here *)
+  let rec drain_held () =
+    match t.held with
+    | [] -> ()
+    | (_, dst, size, msg) :: rest ->
+        t.held <- rest;
+        deliver t ~dst ~size msg;
+        drain_held ()
+  in
+  drain_held ()
+
 let reset_faults t =
   t.loss_rate <- 0.0;
   t.dup_rate <- 0.0;
@@ -237,4 +312,5 @@ let reset_faults t =
   t.partition <- None;
   t.adversary <- None;
   Hashtbl.reset t.link_loss;
-  Hashtbl.iter (fun id n -> if n.crashed then restart t ~id) t.nodes
+  Hashtbl.iter (fun id n -> if n.crashed then restart t ~id) t.nodes;
+  if t.gate || t.held <> [] then release_all_held t

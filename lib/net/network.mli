@@ -94,6 +94,31 @@ val set_adversary :
 
 val clear_adversary : 'msg t -> unit
 
+(** {2 Delivery gate}
+
+    While the gate is set, every message that survives the adversary and
+    loss is appended to a FIFO of held messages instead of being scheduled
+    for delivery. The exhaustive explorer releases held messages one at a
+    time to enumerate delivery interleavings; the same mechanism replays
+    through fault schedules ([Hold_all] / [Release] / [Release_all]).
+    Multicast self-delivery (loopback) bypasses the gate: a replica's
+    messages to itself are internal transitions, not network events. *)
+
+val set_gate : 'msg t -> bool -> unit
+val gate_on : 'msg t -> bool
+
+val held : 'msg t -> (int * int * 'msg) list
+(** Held messages as [(src, dst, msg)], oldest first. *)
+
+val release_held :
+  'msg t -> nth:int -> pred:(src:int -> dst:int -> 'msg -> bool) -> bool
+(** Remove the [nth] (0-based) held message satisfying [pred] and deliver
+    it now (subject to the destination being up). Returns [false] when
+    fewer than [nth+1] held messages match. *)
+
+val release_all_held : 'msg t -> unit
+(** Open the gate and deliver every held message in hold order. *)
+
 val reset_faults : 'msg t -> unit
 (** Return the network to a fault-free state in one call: zero loss and
     duplication, default jitter, no partition, no per-link loss, no

@@ -20,7 +20,13 @@ type handle = {
   live : int ref; (* the owning engine's live-event counter *)
 }
 
-type event = { at : time; seq : int; handle : handle; thunk : unit -> unit }
+type event = {
+  at : time;
+  seq : int;
+  handle : handle;
+  label : string option; (* introspection tag for the explorer; inert otherwise *)
+  thunk : unit -> unit;
+}
 
 type t = {
   mutable clock : time;
@@ -111,18 +117,18 @@ let pop t =
   end;
   ev
 
-let schedule_at t at thunk =
+let schedule_at ?label t at thunk =
   let at = if Int64.compare at t.clock < 0 then t.clock else at in
   let seq = t.seq in
   t.seq <- t.seq + 1;
   let handle = { state = `Pending; live = t.live } in
-  push t { at; seq; handle; thunk };
+  push t { at; seq; handle; label; thunk };
   incr t.live;
   handle
 
-let schedule t ~delay thunk =
+let schedule ?label t ~delay thunk =
   if Int64.compare delay 0L < 0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t (Int64.add t.clock delay) thunk
+  schedule_at ?label t (Int64.add t.clock delay) thunk
 
 let cancel handle =
   if handle.state = `Pending then begin
@@ -149,6 +155,33 @@ let step t =
 
 let events_fired t = t.fired
 let max_heap_size t = t.max_size
+
+(* Live-event introspection for the explorer: an O(size) scan of the heap
+   array (slots [0, size) hold the queue in heap order, not sorted order),
+   skipping lazily-cancelled entries. The scan allocates per call, so it is
+   for the explorer's step loop, not the simulation hot path. *)
+let live_events t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    let ev = Array.unsafe_get t.heap i in
+    if ev.handle.state = `Pending then acc := (ev.at, ev.seq, ev.label) :: !acc
+  done;
+  List.sort
+    (fun (a, sa, _) (b, sb, _) ->
+      match Int64.compare a b with 0 -> Int.compare sa sb | c -> c)
+    !acc
+  |> List.map (fun (at, _, label) -> (at, label))
+
+let next_live_time t =
+  let best = ref None in
+  for i = 0 to t.size - 1 do
+    let ev = Array.unsafe_get t.heap i in
+    if ev.handle.state = `Pending then
+      match !best with
+      | Some b when Int64.compare b ev.at <= 0 -> ()
+      | _ -> best := Some ev.at
+  done;
+  !best
 
 let default_max_events = 100_000_000
 

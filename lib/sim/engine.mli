@@ -20,10 +20,12 @@ val now : t -> time
 val rng : t -> Bft_util.Rng.t
 (** The engine's root RNG; derive sub-streams with {!Bft_util.Rng.split}. *)
 
-val schedule : t -> delay:time -> (unit -> unit) -> handle
-(** Run the thunk [delay] nanoseconds from now. [delay < 0] is an error. *)
+val schedule : ?label:string -> t -> delay:time -> (unit -> unit) -> handle
+(** Run the thunk [delay] nanoseconds from now. [delay < 0] is an error.
+    [label] tags the event for {!live_events}; it has no effect on
+    execution. *)
 
-val schedule_at : t -> time -> (unit -> unit) -> handle
+val schedule_at : ?label:string -> t -> time -> (unit -> unit) -> handle
 (** Run the thunk at an absolute time (clamped to [now]). *)
 
 val cancel : handle -> unit
@@ -43,6 +45,16 @@ val events_fired : t -> int
 val max_heap_size : t -> int
 (** Deepest the event queue has ever been, including cancelled events
     awaiting lazy removal — the scheduler's memory high-water mark. *)
+
+val live_events : t -> (time * string option) list
+(** The enabled-event set: every live (pending) event as
+    [(fire time, label)], sorted by (time, scheduling order). Cancelled
+    events awaiting lazy removal are excluded. O(heap size) — intended for
+    the exhaustive explorer's step loop, not the simulation hot path. *)
+
+val next_live_time : t -> time option
+(** Fire time of the earliest live event, if any. Unlike the heap root,
+    this skips lazily-cancelled entries. *)
 
 val step : t -> bool
 (** Execute the next event. Returns [false] when the queue is empty.

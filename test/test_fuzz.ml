@@ -45,7 +45,12 @@ let test_bad_schedule_strings_rejected () =
       match Schedule.of_string s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted malformed schedule %S" s)
-    [ "nonsense"; "10@"; "@crash:0"; "10@crash:x"; "10@loss"; "10@drop:zz:*:*"; "x@heal" ]
+    [
+      "nonsense"; "10@"; "@crash:0"; "10@crash:x"; "10@loss"; "10@drop:zz:*:*"; "x@heal";
+      (* gate actions (hold / release / release-all) *)
+      "10@rel"; "10@rel:pp"; "10@rel:pp:0:1"; "10@rel:zz:0:1:0"; "10@rel:pp:x:1:0";
+      "10@rel:pp:0:1:x"; "10@hold:1"; "10@relall:0";
+    ]
 
 (* --- smoke fuzz --- *)
 
@@ -64,6 +69,31 @@ let test_smoke_fuzz () =
     (Printf.sprintf "view changes explored (%d)" outcome.Runner.total_view_changes)
     true
     (outcome.Runner.total_view_changes > 0)
+
+(* --- liveness oracles in fuzz mode (behind the check_liveness flag) --- *)
+
+let test_liveness_flag_clean_seeds () =
+  (* An adversarial schedule is free to starve progress, so the liveness
+     oracles are opt-in for fuzzing. They must stay silent exactly on the
+     runs that do commit their whole workload: re-running a completing seed
+     with [check_liveness] on may not introduce failures. *)
+  let qualified = ref 0 in
+  for seed = 1 to 15 do
+    let base = Runner.run_seed (params ~seed ()) in
+    if base.Runner.completed_ops = base.Runner.total_ops then begin
+      incr qualified;
+      let p =
+        { (params ~seed ()) with Runner.check_liveness = true; view_bound = Some 64 }
+      in
+      let r = Runner.run_seed p in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d clean under liveness oracles" seed)
+        [] r.Runner.failures
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some seeds completed their workload (%d)" !qualified)
+    true (!qualified > 0)
 
 (* --- pinned regression: a seed whose schedule forces a view change --- *)
 
@@ -133,6 +163,8 @@ let suites =
     ( "check.fuzz",
       [
         Alcotest.test_case "smoke fuzz (50 seeds)" `Slow test_smoke_fuzz;
+        Alcotest.test_case "liveness oracles on clean seeds" `Slow
+          test_liveness_flag_clean_seeds;
         Alcotest.test_case "view-change seed regression" `Quick test_view_change_seed_regression;
         Alcotest.test_case "replay from schedule string" `Quick test_regression_seed_replays_from_string;
         Alcotest.test_case "shrinker minimizes" `Slow test_shrinker_minimizes;
