@@ -71,6 +71,10 @@ type t = {
   costs : Costs.t;
   rng : Bft_util.Rng.t;
   counters : counters;
+  (* allocate-once wire buffer for this node's outgoing encodes: broadcast
+     and send_to reuse it instead of the module-wide scratch, so a node's
+     encode working set stays one warm buffer *)
+  arena : Bft_net.Wire_arena.t;
   (* protocol state *)
   mutable view : int;
   mutable seqno : int; (* last sequence number assigned (primary) *)
@@ -189,7 +193,7 @@ let vector_bytes t ~dsts bytes =
 let broadcast t body =
   if not t.muted then begin
     let enc = Message.no_cache () in
-    let bytes = Wire.cached_encode enc body in
+    let bytes = Wire.cached_encode ~arena:t.arena enc body in
     let auth =
       match (t.d.cfg.Config.auth_mode, body) with
       | _, New_key _ -> sign_bytes t bytes
@@ -204,7 +208,7 @@ let broadcast t body =
 let send_to t ~dst body =
   if not t.muted then begin
     let enc = Message.no_cache () in
-    let bytes = Wire.cached_encode enc body in
+    let bytes = Wire.cached_encode ~arena:t.arena enc body in
     let auth =
       match t.d.cfg.Config.auth_mode with
       | Config.Sig_auth -> sign_bytes t bytes
@@ -222,6 +226,16 @@ let send_plain t ~dst body =
     Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
   end
 
+(* MAC verification crosses the verification pool as a one-item batch:
+   [Vpool.run] executes sub-parallel batches inline on the caller, so the
+   verdict and the virtual-time charge are exactly the sequential path's —
+   the pool only changes who does the HMAC arithmetic, never the result
+   order. Signatures stay on the caller (cheap to model, nothing to
+   batch). *)
+let pool_verify t item =
+  if Obs.enabled t.obs then Obs.vpool_submit t.obs ~items:1;
+  (Bft_crypto.Auth.verify_batch t.d.keychain [| item |]).(0)
+
 let verify_token_bytes t ~claimed bytes token =
   match token with
   | Auth_none -> false
@@ -231,10 +245,10 @@ let verify_token_bytes t ~claimed bytes token =
       && Bft_crypto.Signature.verify t.d.registry s bytes
   | Auth_mac m ->
       charge t t.costs.Costs.mac_us;
-      Bft_crypto.Auth.verify_mac t.d.keychain ~peer:claimed m bytes
+      pool_verify t (Bft_crypto.Auth.Item_mac { peer = claimed; mac = m; msg = bytes })
   | Auth_vector a ->
       charge t t.costs.Costs.mac_us;
-      Bft_crypto.Auth.verify_authenticator t.d.keychain ~peer:claimed a bytes
+      pool_verify t (Bft_crypto.Auth.Item_auth { peer = claimed; auth = a; msg = bytes })
 
 let verify_token t ~claimed body token =
   verify_token_bytes t ~claimed (Wire.encode body) token
@@ -957,27 +971,79 @@ let handle_request t (req : request) token ~verified ~relayed =
 (* Normal case: backups                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let request_authentic t elem batch_digest =
-  match elem with
-  | By_digest d -> (
-      match Hashtbl.find_opt t.requests d with
-      | Some sr -> sr.sr_verified
-      | None -> false)
-  | Inline (r, tok) -> (
-      let d = Wire.request_digest r in
-      match Hashtbl.find_opt t.requests d with
-      | Some sr when sr.sr_verified -> true (* condition 3 *)
-      | _ ->
-          (* condition 1: our MAC entry in the client's token *)
-          verify_token t ~claimed:r.client (Request r) tok
-          ||
-          (* condition 2: f prepares carrying the batch digest *)
-          let count = ref 0 in
-          Log.iter_window t.log (fun e ->
-              Hashtbl.iter
-                (fun _ (_, d') -> if String.equal d' batch_digest then incr count)
-                e.Log.prepares);
-          !count >= t.d.cfg.Config.f)
+(* condition 2: f prepares carrying the batch digest vouch for it *)
+let batch_vouched t batch_digest =
+  let count = ref 0 in
+  Log.iter_window t.log (fun e ->
+      Hashtbl.iter
+        (fun _ (_, d') -> if String.equal d' batch_digest then incr count)
+        e.Log.prepares);
+  !count >= t.d.cfg.Config.f
+
+(* A batch element is authentic if (1) our MAC entry in the client's token
+   verifies, (2) f prepares vouch for the batch digest, or (3) we already
+   verified the stored request body. Evaluated in three passes so the MAC
+   arithmetic fans out through the verification pool without disturbing
+   virtual time: pass 1 resolves the charge-free conditions and classifies
+   the rest, pass 2 flushes every MAC/authenticator token as one pool
+   batch, and pass 3 consumes the verdicts in element order, charging each
+   element exactly where the sequential path would and short-circuiting at
+   the first failure — elements past it were pool-verified for nothing
+   (wall-clock only) but are never charged, so the committed-history
+   digests are byte-identical to the sequential evaluation. *)
+let batch_authentic t elems batch_digest =
+  let vouched = lazy (batch_vouched t batch_digest) in
+  let items = ref [] and n_items = ref 0 in
+  let statuses =
+    List.map
+      (fun elem ->
+        match elem with
+        | By_digest d -> (
+            match Hashtbl.find_opt t.requests d with
+            | Some sr -> `Done sr.sr_verified
+            | None -> `Done false)
+        | Inline (r, tok) -> (
+            match Hashtbl.find_opt t.requests (Wire.request_digest r) with
+            | Some sr when sr.sr_verified -> `Done true (* condition 3 *)
+            | _ -> (
+                match tok with
+                | Auth_mac m ->
+                    let k = !n_items in
+                    incr n_items;
+                    items :=
+                      Bft_crypto.Auth.Item_mac
+                        { peer = r.client; mac = m; msg = Wire.encode (Request r) }
+                      :: !items;
+                    `Pool k
+                | Auth_vector a ->
+                    let k = !n_items in
+                    incr n_items;
+                    items :=
+                      Bft_crypto.Auth.Item_auth
+                        { peer = r.client; auth = a; msg = Wire.encode (Request r) }
+                      :: !items;
+                    `Pool k
+                | Auth_none | Auth_sig _ -> `Seq (r, tok))))
+      elems
+  in
+  let verdicts =
+    if !n_items = 0 then [||]
+    else begin
+      if Obs.enabled t.obs then Obs.vpool_submit t.obs ~items:!n_items;
+      Bft_crypto.Auth.verify_batch t.d.keychain (Array.of_list (List.rev !items))
+    end
+  in
+  List.for_all
+    (fun st ->
+      match st with
+      | `Done b -> b
+      | `Pool k ->
+          charge t t.costs.Costs.mac_us;
+          verdicts.(k) || Lazy.force vouched
+      | `Seq (r, tok) ->
+          (* condition 1, sequential: signatures (and tokenless elements) *)
+          verify_token t ~claimed:r.client (Request r) tok || Lazy.force vouched)
+    statuses
 
 let send_prepare t ~view ~seq digest =
   if allowed_seq t seq then begin
@@ -1035,7 +1101,7 @@ let accept_pre_prepare t (pp : pre_prepare) =
       | None -> false
     in
     if nondet_ok && not already then begin
-      let authentic = List.for_all (fun e -> request_authentic t e d) pp.pp_batch in
+      let authentic = batch_authentic t pp.pp_batch d in
       let have_bodies =
         List.for_all
           (fun e -> match e with By_digest dd -> Hashtbl.mem t.requests dd | Inline _ -> true)
@@ -2326,6 +2392,7 @@ let create ?(obs = Obs.null) d ~id =
       engine;
       costs = Network.costs d.net;
       rng = Bft_util.Rng.split d.rng;
+      arena = Bft_net.Wire_arena.create ~size:1024 ();
       counters =
         {
           n_executed = 0;

@@ -1,13 +1,21 @@
 open Message
 
-let add_int64 b (v : int64) = Buffer.add_int64_le b v
+(* Encoders write directly into a Wire_arena: an allocate-once bump buffer
+   that replaces the per-encode Buffer (allocation + doubling copies +
+   final contents copy). Digest- and size-only paths finish straight off
+   the arena's backing bytes with no string allocation at all; only
+   encodes whose bytes must escape (the envelope's [enc_bytes]) pay one
+   [A.contents] copy. *)
+module A = Bft_net.Wire_arena
+
+let add_int64 b (v : int64) = A.add_int64_le b v
 let add_int b v = add_int64 b (Int64.of_int v)
 
 let add_string b s =
   add_int b (String.length s);
-  Buffer.add_string b s
+  A.add_string b s
 
-let add_bool b v = Buffer.add_char b (if v then '\x01' else '\x00')
+let add_bool b v = A.add_char b (if v then '\x01' else '\x00')
 
 let add_list b f l =
   add_int b (List.length l);
@@ -54,19 +62,28 @@ let clear_memos () =
   Hashtbl.reset vc_memo;
   Hashtbl.reset size_memo
 
+(* Module-scratch arena for context-free encodes (digest/size memo
+   compute, [Wire.encode]); per-node encode-once paths pass their own
+   arena to [cached_encode]. Encoding happens only on the simulator
+   domain — Vpool workers verify, they never encode — and no encoder
+   re-enters another mid-write ([batch_digest] hoists its nested request
+   digests before touching the arena). *)
+let scratch = A.create ~size:1024 ()
+
 let request_digest r =
   memoize request_memo r (fun r ->
-      let b = Buffer.create 64 in
-      Buffer.add_char b 'R';
+      let b = scratch in
+      A.reset b;
+      A.add_char b 'R';
       encode_request b r;
-      Bft_crypto.Sha256.digest (Buffer.contents b))
+      A.digest b)
 
 let encode_batch_elem b = function
   | Inline (r, _tok) ->
-      Buffer.add_char b 'I';
+      A.add_char b 'I';
       encode_request b r
   | By_digest d ->
-      Buffer.add_char b 'D';
+      A.add_char b 'D';
       add_string b d
 
 (* the memo key includes inline auth tokens (they are part of the
@@ -75,16 +92,21 @@ let encode_batch_elem b = function
    harmless *)
 let batch_digest batch nondet =
   memoize batch_memo (batch, nondet) (fun (batch, nondet) ->
-      let b = Buffer.create 128 in
-      Buffer.add_char b 'B';
+      (* hoisted: [request_digest] shares the scratch arena, so resolve
+         every element digest before starting this encode *)
+      let ds =
+        List.map
+          (fun elem ->
+            match elem with Inline (r, _) -> request_digest r | By_digest d -> d)
+          batch
+      in
+      let b = scratch in
+      A.reset b;
+      A.add_char b 'B';
       add_int b (List.length batch);
-      List.iter
-        (fun elem ->
-          let d = match elem with Inline (r, _) -> request_digest r | By_digest d -> d in
-          Buffer.add_string b d)
-        batch;
+      List.iter (A.add_string b) ds;
       add_string b nondet;
-      Bft_crypto.Sha256.digest (Buffer.contents b))
+      A.digest b)
 
 let null_batch_digest = Bft_crypto.Sha256.digest "NULL-BATCH"
 
@@ -107,10 +129,10 @@ let encode_int_digest b (n, d) =
 
 let encode_body b = function
   | Request r ->
-      Buffer.add_char b '\x01';
+      A.add_char b '\x01';
       encode_request b r
   | Reply r ->
-      Buffer.add_char b '\x02';
+      A.add_char b '\x02';
       add_int b r.rp_view;
       add_int64 b r.rp_timestamp;
       add_int b r.rp_client;
@@ -118,36 +140,36 @@ let encode_body b = function
       add_bool b r.rp_tentative;
       (match r.rp_result with
       | Full s ->
-          Buffer.add_char b 'F';
+          A.add_char b 'F';
           add_string b s
       | Result_digest d ->
-          Buffer.add_char b 'D';
+          A.add_char b 'D';
           add_string b d)
   | Pre_prepare p ->
-      Buffer.add_char b '\x03';
+      A.add_char b '\x03';
       add_int b p.pp_view;
       add_int b p.pp_seq;
       add_list b encode_batch_elem p.pp_batch;
       add_string b p.pp_nondet
   | Prepare p ->
-      Buffer.add_char b '\x04';
+      A.add_char b '\x04';
       add_int b p.pr_view;
       add_int b p.pr_seq;
       add_string b p.pr_digest;
       add_int b p.pr_replica
   | Commit c ->
-      Buffer.add_char b '\x05';
+      A.add_char b '\x05';
       add_int b c.cm_view;
       add_int b c.cm_seq;
       add_string b c.cm_digest;
       add_int b c.cm_replica
   | Checkpoint c ->
-      Buffer.add_char b '\x06';
+      A.add_char b '\x06';
       add_int b c.ck_seq;
       add_string b c.ck_digest;
       add_int b c.ck_replica
   | View_change v ->
-      Buffer.add_char b '\x07';
+      A.add_char b '\x07';
       add_int b v.vc_view;
       add_int b v.vc_h;
       add_list b encode_int_digest v.vc_cset;
@@ -155,13 +177,13 @@ let encode_body b = function
       add_list b encode_qset v.vc_qset;
       add_int b v.vc_replica
   | View_change_ack a ->
-      Buffer.add_char b '\x08';
+      A.add_char b '\x08';
       add_int b a.va_view;
       add_int b a.va_replica;
       add_int b a.va_origin;
       add_string b a.va_digest
   | New_view n ->
-      Buffer.add_char b '\x09';
+      A.add_char b '\x09';
       add_int b n.nv_view;
       add_list b encode_int_digest n.nv_vcs;
       add_int b n.nv_start;
@@ -172,7 +194,7 @@ let encode_body b = function
           add_string b c.nc_digest)
         n.nv_chosen
   | Fetch f ->
-      Buffer.add_char b '\x0a';
+      A.add_char b '\x0a';
       add_int b f.ft_level;
       add_int b f.ft_index;
       add_int b f.ft_lc;
@@ -180,7 +202,7 @@ let encode_body b = function
       add_int b f.ft_replier;
       add_int b f.ft_replica
   | Meta_data m ->
-      Buffer.add_char b '\x0b';
+      A.add_char b '\x0b';
       add_int b m.md_checkpoint;
       add_int b m.md_level;
       add_int b m.md_index;
@@ -192,12 +214,12 @@ let encode_body b = function
         m.md_subparts;
       add_int b m.md_replica
   | Data d ->
-      Buffer.add_char b '\x0c';
+      A.add_char b '\x0c';
       add_int b d.dt_index;
       add_int b d.dt_lm;
       add_string b d.dt_page
   | Status_active s ->
-      Buffer.add_char b '\x0d';
+      A.add_char b '\x0d';
       add_int b s.sa_replica;
       add_int b s.sa_view;
       add_int b s.sa_h;
@@ -205,7 +227,7 @@ let encode_body b = function
       add_list b (fun b n -> add_int b n) s.sa_prepared;
       add_list b (fun b n -> add_int b n) s.sa_committed
   | Status_pending s ->
-      Buffer.add_char b '\x0e';
+      A.add_char b '\x0e';
       add_int b s.sp_replica;
       add_int b s.sp_view;
       add_int b s.sp_h;
@@ -213,7 +235,7 @@ let encode_body b = function
       add_bool b s.sp_has_new_view;
       add_list b (fun b n -> add_int b n) s.sp_vcs_seen
   | New_key k ->
-      Buffer.add_char b '\x0f';
+      A.add_char b '\x0f';
       add_int b k.nk_replica;
       add_list b
         (fun b (peer, (key : Bft_crypto.Keychain.key)) ->
@@ -223,38 +245,43 @@ let encode_body b = function
         k.nk_keys;
       add_int64 b k.nk_counter
   | Query_stable q ->
-      Buffer.add_char b '\x10';
+      A.add_char b '\x10';
       add_int b q.qs_replica;
       add_int64 b q.qs_nonce
   | Reply_stable r ->
-      Buffer.add_char b '\x11';
+      A.add_char b '\x11';
       add_int b r.rs_checkpoint;
       add_int b r.rs_prepared;
       add_int b r.rs_replica;
       add_int64 b r.rs_nonce
   | Fetch_batch f ->
-      Buffer.add_char b '\x12';
+      A.add_char b '\x12';
       add_string b f.fb_digest;
       add_int b f.fb_replica
   | Batch_data d ->
-      Buffer.add_char b '\x13';
+      A.add_char b '\x13';
       add_string b d.bd_digest;
       add_list b encode_batch_elem d.bd_batch;
       add_string b d.bd_nondet
   | Fetch_request f ->
-      Buffer.add_char b '\x14';
+      A.add_char b '\x14';
       add_string b f.fr_digest;
       add_int b f.fr_replica
 
 let encode m =
-  let b = Buffer.create 128 in
-  encode_body b m;
-  Buffer.contents b
+  A.reset scratch;
+  encode_body scratch m;
+  A.contents scratch
 
 (* memoized: the size model charges per encoded byte at several hot call
    sites (request receipt, pre-prepare accept, state transfer), and the
-   charged size of a given message never changes *)
-let size m = memoize size_memo m (fun m -> String.length (encode m))
+   charged size of a given message never changes. Sizing never leaves the
+   arena: no string is allocated. *)
+let size m =
+  memoize size_memo m (fun m ->
+      A.reset scratch;
+      encode_body scratch m;
+      A.length scratch)
 
 let auth_size = function
   | Auth_none -> 0
@@ -268,12 +295,17 @@ let auth_size = function
 
 (* Fill (or reuse) a cache with the body's canonical encoding. The sender
    calls this before authenticating; [envelope_size] and every receiver's
-   verification then reuse the same physical string. *)
-let cached_encode (cache : enc_cache) body =
+   verification then reuse the same physical string. [arena] lets a node
+   encode through its own allocate-once buffer (the per-node Wire_arena);
+   the bytes written are identical either way. *)
+let cached_encode ?arena (cache : enc_cache) body =
   match cache.enc_bytes with
   | Some s -> s
   | None ->
-      let s = encode body in
+      let a = match arena with Some a -> a | None -> scratch in
+      A.reset a;
+      encode_body a body;
+      let s = A.contents a in
       cache.enc_bytes <- Some s;
       s
 
@@ -291,9 +323,21 @@ let envelope_size e =
   8 (* header *) + String.length (envelope_bytes e) + auth_size e.auth
 
 let view_change_digest v =
-  memoize vc_memo v (fun v -> Bft_crypto.Sha256.digest (encode (View_change v)))
-let checkpoint_value_digest s = Bft_crypto.Sha256.digest ("CKPT" ^ s)
-let result_digest s = Bft_crypto.Sha256.digest ("RES" ^ s)
+  memoize vc_memo v (fun v ->
+      A.reset scratch;
+      encode_body scratch (View_change v);
+      A.digest scratch)
+
+(* domain-tagged digests, built in the arena to skip the "TAG" ^ s
+   concatenation (the bytes hashed are identical) *)
+let tagged_digest tag s =
+  A.reset scratch;
+  A.add_string scratch tag;
+  A.add_string scratch s;
+  A.digest scratch
+
+let checkpoint_value_digest s = tagged_digest "CKPT" s
+let result_digest s = tagged_digest "RES" s
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)

@@ -36,8 +36,12 @@ val auth_size : Message.auth_token -> int
     lifetime, shared by sign/MAC, [envelope_size], transmission and
     verification. *)
 
-val cached_encode : Message.enc_cache -> Message.t -> string
-(** Canonical encoding of the body, memoized in the cache. *)
+val cached_encode :
+  ?arena:Bft_net.Wire_arena.t -> Message.enc_cache -> Message.t -> string
+(** Canonical encoding of the body, memoized in the cache. [arena] routes
+    the encode through a caller-owned allocate-once buffer (each node keeps
+    its own); the default is a module-scratch arena. The bytes produced are
+    identical either way. *)
 
 val envelope_bytes : Message.envelope -> string
 (** [cached_encode e.enc e.body]. *)

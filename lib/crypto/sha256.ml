@@ -31,10 +31,10 @@
 
    Full 64-byte blocks compress directly from the source string instead of
    being staged through the context buffer, and the one-shot [digest]
-   bypasses the streaming context entirely, hashing into module-level
-   scratch state (sound because the simulator is single-domain and [digest]
-   never re-enters itself; the streaming [ctx] API stays allocation-per-use
-   and safe). *)
+   bypasses the streaming context entirely, hashing into domain-local
+   scratch state (sound because [digest] never re-enters itself within a
+   domain, and the Vpool worker domains each get their own scratch via
+   Domain.DLS; the streaming [ctx] API stays allocation-per-use and safe). *)
 
 let digest_size = 32
 
@@ -542,36 +542,50 @@ let finalize ctx =
 
 (* One-shot digest: no streaming context, no staging copies, no per-call
    allocation beyond the result -- full blocks compress straight from [s],
-   the padded tail is built in module-level scratch, and the working state
-   lives in module-level scratch arrays. [digest] never re-enters itself and
-   the simulator is single-domain, so sharing the scratch is sound; callers
+   the padded tail is built in per-domain scratch, and the working state
+   lives in per-domain scratch arrays. [digest] never re-enters itself, so
+   within one domain sharing the scratch is sound; the verification pool
+   (Vpool) runs this concurrently from worker domains, hence the scratch is
+   keyed by Domain.DLS rather than being a plain module global. Callers
    needing reentrancy use the streaming [ctx] API. *)
-let scratch_h = Array.make 8 0
-let scratch_w = Array.make 64 0
-let scratch_tail = Bytes.make 128 '\x00'
+type scratch = { sc_h : int array; sc_w : int array; sc_tail : Bytes.t }
 
-let digest s =
-  let h8 = scratch_h and w = scratch_w in
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { sc_h = Array.make 8 0; sc_w = Array.make 64 0; sc_tail = Bytes.make 128 '\x00' })
+
+let digest_sub s pos len =
+  let sc = Domain.DLS.get scratch_key in
+  let h8 = sc.sc_h and w = sc.sc_w in
   h8.(0) <- 0x6a09e667; h8.(1) <- 0xbb67ae85;
   h8.(2) <- 0x3c6ef372; h8.(3) <- 0xa54ff53a;
   h8.(4) <- 0x510e527f; h8.(5) <- 0x9b05688c;
   h8.(6) <- 0x1f83d9ab; h8.(7) <- 0x5be0cd19;
-  let len = String.length s in
   let blocks = len / 64 in
   for i = 0 to blocks - 1 do
-    compress_block h8 w s (i * 64)
+    compress_block h8 w s (pos + (i * 64))
   done;
   let rem = len - (blocks * 64) in
   let tail_len = if rem < 56 then 64 else 128 in
-  let tail = scratch_tail in
+  let tail = sc.sc_tail in
   Bytes.fill tail 0 tail_len '\x00';
-  Bytes.blit_string s (blocks * 64) tail 0 rem;
+  Bytes.blit_string s (pos + (blocks * 64)) tail 0 rem;
   Bytes.set tail rem '\x80';
   Bytes.set_int64_be tail (tail_len - 8) (Int64.of_int (len * 8));
   let tail = Bytes.unsafe_to_string tail in
   compress_block h8 w tail 0;
   if tail_len = 128 then compress_block h8 w tail 64;
   output_digest h8
+
+let digest s = digest_sub s 0 (String.length s)
+
+(* One-shot digest of a byte-buffer prefix (e.g. a Wire_arena's backing
+   store): the bytes are only read within this call, so the unsafe view is
+   sound even if the caller mutates the buffer afterwards. *)
+let digest_bytes b pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Sha256.digest_bytes";
+  digest_sub (Bytes.unsafe_to_string b) pos len
 
 (* Resumable midstates (HMAC key-block precomputation): a snapshot of the
    eight hash words at a block boundary. [digest_from_midstate] finishes a
@@ -586,7 +600,8 @@ let midstate ctx =
   { mh = Array.copy ctx.h; m_fed = Int64.to_int ctx.total }
 
 let digest_from_midstate m s =
-  let h8 = scratch_h and w = scratch_w in
+  let sc = Domain.DLS.get scratch_key in
+  let h8 = sc.sc_h and w = sc.sc_w in
   Array.blit m.mh 0 h8 0 8;
   let len = String.length s in
   let blocks = len / 64 in
@@ -595,7 +610,7 @@ let digest_from_midstate m s =
   done;
   let rem = len - (blocks * 64) in
   let tail_len = if rem < 56 then 64 else 128 in
-  let tail = scratch_tail in
+  let tail = sc.sc_tail in
   Bytes.fill tail 0 tail_len '\x00';
   Bytes.blit_string s (blocks * 64) tail 0 rem;
   Bytes.set tail rem '\x80';

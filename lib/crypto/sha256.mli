@@ -27,7 +27,15 @@ val finalize : ctx -> string
 (** Returns the 32-byte digest. The context must not be reused. *)
 
 val digest : string -> string
-(** One-shot digest of a full string. *)
+(** One-shot digest of a full string. Runs on per-domain scratch state
+    (Domain.DLS), so it is safe to call concurrently from Vpool worker
+    domains. *)
+
+val digest_bytes : Bytes.t -> int -> int -> string
+(** [digest_bytes b pos len]: one-shot digest of a byte-buffer range with
+    no intermediate string allocation (the arena-backed encode pipeline
+    digests wire bytes in place). The bytes are only read during the
+    call. *)
 
 type midstate
 (** Immutable snapshot of the hash state at a block boundary. *)

@@ -12,6 +12,7 @@ let swallowed_exception = "swallowed-exception"
 let ignored_result = "ignored-result"
 let digest_compare = "digest-compare"
 let unsafe_op = "unsafe-op"
+let domain_containment = "domain-containment"
 
 (* id, type-aware?, one-line rationale (the DESIGN.md catalogue mirrors
    this list; test_lint checks every id here has a fixture). *)
@@ -28,6 +29,10 @@ let all =
     (ignored_result, true, "ignoring a result value silently drops the Error case");
     (digest_compare, true, "polymorphic compare on digest/key strings; use String.equal/compare");
     (unsafe_op, false, "unchecked accesses only in the crypto / Paged_image allowlist");
+    ( domain_containment,
+      false,
+      "Domain/Atomic/Mutex/Condition only under the Vpool allowlist; parallelism must stay \
+       behind the deterministic-merge boundary" );
   ]
 
 let ids = List.map (fun (id, _, _) -> id) all

@@ -60,6 +60,11 @@ let classify_ident flat =
       Some (Rule.random, "self-seeded randomness is unreplayable; seed Bft_util.Rng explicitly")
   | "Random" :: f :: _ when not (String.equal f "State") ->
       Some (Rule.random, "global Random state is shared and unseeded; use Bft_util.Rng")
+  | ("Domain" | "Atomic" | "Mutex" | "Condition") :: _ ->
+      Some
+        ( Rule.domain_containment,
+          "domain primitive outside the Vpool allowlist; parallelism must stay behind the \
+           verification pool's deterministic-merge boundary" )
   | [ "Obj"; "magic" ] -> Some (Rule.unsafe_op, "Obj.magic defeats the type system")
   | [ m; f ] when is_unsafe_access m f ->
       Some (Rule.unsafe_op, "bounds-unchecked access outside the crypto/Paged_image allowlist")
@@ -71,6 +76,10 @@ let classify_module flat =
   | "Unix" :: _ -> Some (Rule.unix, "Unix brought into scope in lib/")
   | "Marshal" :: _ -> Some (Rule.marshal, "Marshal brought into scope in lib/")
   | [ "Random" ] -> Some (Rule.random, "global Random brought into scope in lib/")
+  | ("Domain" | "Atomic" | "Mutex" | "Condition") :: _ ->
+      Some
+        ( Rule.domain_containment,
+          "domain primitives brought into scope outside the Vpool allowlist" )
   | _ -> None
 
 (* Binding names under which Hashtbl iteration order can reach persisted

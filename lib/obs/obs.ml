@@ -61,6 +61,11 @@ type t = {
   mutable n_timeouts : int;
   mutable n_ckpt_dirty_pages : int;
   mutable n_ckpt_clean_pages : int;
+  (* verification-pool submissions by this node: batches flushed and items
+     carried (the pool's own global stats — merge hwm, worker share — live
+     in Bft_crypto.Vpool and are joined by the tools at dump time) *)
+  mutable n_vpool_batches : int;
+  mutable n_vpool_items : int;
 }
 
 let make ~enabled ~node ~capacity =
@@ -78,6 +83,8 @@ let make ~enabled ~node ~capacity =
     n_timeouts = 0;
     n_ckpt_dirty_pages = 0;
     n_ckpt_clean_pages = 0;
+    n_vpool_batches = 0;
+    n_vpool_items = 0;
   }
 
 let null = make ~enabled:false ~node:(-1) ~capacity:1
@@ -197,6 +204,12 @@ let checkpoint_taken t ~now ~seq ~bytes ~dirty ~clean =
     record t ~at:now (Checkpoint_taken { seq; bytes; dirty; clean })
   end
 
+let vpool_submit t ~items =
+  if t.t_enabled then begin
+    t.n_vpool_batches <- t.n_vpool_batches + 1;
+    t.n_vpool_items <- t.n_vpool_items + items
+  end
+
 let invoke_timeout t ~now ~op =
   if t.t_enabled then begin
     t.n_timeouts <- t.n_timeouts + 1;
@@ -267,6 +280,8 @@ let snapshot_rejections t = t.n_snapshot_rejected
 let timeouts t = t.n_timeouts
 let checkpoint_dirty_pages t = t.n_ckpt_dirty_pages
 let checkpoint_clean_pages t = t.n_ckpt_clean_pages
+let vpool_batches t = t.n_vpool_batches
+let vpool_items t = t.n_vpool_items
 
 let hist_line name h =
   Printf.sprintf "  %-20s count=%-6d mean=%8.1fus p50=%8.1fus p99=%8.1fus max=%8.1fus"
@@ -290,6 +305,7 @@ let summary_lines t =
   @ [
       Printf.sprintf "  retransmissions=%d timeouts=%d snapshot_rejected=%d events=%d"
         t.n_retransmissions t.n_timeouts t.n_snapshot_rejected (Ring.total t.ring);
+      Printf.sprintf "  vpool: batches=%d items=%d" t.n_vpool_batches t.n_vpool_items;
     ]
 
 let hist_json h =
@@ -315,6 +331,9 @@ let to_json t =
        (Hist.count t.ckpt_bytes) (Hist.mean_us t.ckpt_bytes)
        (Hist.percentile_us t.ckpt_bytes 0.99) (Hist.max_us t.ckpt_bytes)
        t.n_ckpt_dirty_pages t.n_ckpt_clean_pages);
+  Buffer.add_string b
+    (Printf.sprintf ", \"vpool\": { \"batches\": %d, \"items\": %d }" t.n_vpool_batches
+       t.n_vpool_items);
   Buffer.add_string b
     (Printf.sprintf
        ", \"retransmissions\": %d, \"timeouts\": %d, \"snapshot_rejected\": %d, \

@@ -102,6 +102,11 @@ val checkpoint_taken :
     re-hashed vs [clean] pages reused from the previous tree — the
     incremental-checkpointing effectiveness metric (Section 5.3). *)
 
+val vpool_submit : t -> items:int -> unit
+(** One verification-pool flush by this node carrying [items] jobs. The
+    pool's own global counters (merge high-water mark, worker share) live
+    in [Bft_crypto.Vpool.stats] and are joined in at dump time. *)
+
 (** {2 Reading} *)
 
 val events : ?last:int -> t -> entry list
@@ -126,6 +131,10 @@ val timeouts : t -> int
 val checkpoint_dirty_pages : t -> int
 val checkpoint_clean_pages : t -> int
 (** Cumulative page counts across all checkpoints taken. *)
+
+val vpool_batches : t -> int
+val vpool_items : t -> int
+(** Cumulative verification-pool flushes / jobs submitted by this node. *)
 
 val summary_lines : t -> string list
 (** Human-readable per-node metrics block (phase table + counters). *)

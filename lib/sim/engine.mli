@@ -5,7 +5,14 @@
     break), so a run is fully determined by the seed and the program. The
     engine replaces the asynchronous Internet of the paper's system model:
     no component ever relies on virtual-time bounds for safety; timers only
-    drive retransmissions, view changes and watchdog recoveries. *)
+    drive retransmissions, view changes and watchdog recoveries.
+
+    The engine and every callback run on a single domain. The one source
+    of parallelism in the tree — [Bft_crypto.Vpool]'s verification
+    workers — executes strictly inside a callback, behind the pool's
+    deterministic-merge boundary, and never schedules, fires, cancels or
+    observes events: virtual time and event order are independent of
+    [BFT_DOMAINS]. *)
 
 type t
 

@@ -1,0 +1,4 @@
+let worker = Domain.spawn (fun () -> 42)
+let counter = Atomic.make 0
+let m = Mutex.create ()
+let cv = Condition.create ()

@@ -40,6 +40,14 @@ let corpus =
       true,
       [ (Rule.digest_compare, 1); (Rule.digest_compare, 2); (Rule.digest_compare, 3) ] );
     ("bad_unsafe.ml", false, [ (Rule.unsafe_op, 1); (Rule.unsafe_op, 2) ]);
+    ( "bad_domain.ml",
+      false,
+      [
+        (Rule.domain_containment, 1);
+        (Rule.domain_containment, 2);
+        (Rule.domain_containment, 3);
+        (Rule.domain_containment, 4);
+      ] );
     ("allowed_suppress.ml", false, []);
   ]
 
