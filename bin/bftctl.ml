@@ -279,6 +279,37 @@ let fuzz_cmd =
             "Injected bug: backups never arm the view-change timer (validates that the \
              liveness oracles catch a real stall).")
   in
+  let profile_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Merge a named adversary profile (slow_primary, client_flood, mac_storm) into \
+             every generated schedule. Replay lines carry the expanded events in the \
+             schedule string, never the profile name.")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "quota" ] ~docv:"N"
+          ~doc:"Per-client in-flight admission quota at each replica (default 64).")
+  in
+  let retx_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retx-budget" ] ~docv:"B"
+          ~doc:
+            "Per-peer retransmission budget per status interval (with exponential refill \
+             backoff); unset preserves the paper's unbounded retransmission.")
+  in
+  let perf_vc_arg =
+    Arg.(
+      value & flag
+      & info [ "perf-vc" ]
+          ~doc:
+            "Enable the primary performance watchdog: backups view-change a primary whose \
+             smoothed request latency degrades well beyond the observed baseline.")
+  in
   let print_failure params (r : Bft_check.Runner.run_result) =
     Printf.printf "FAILED oracles:\n";
     List.iter (fun f -> Printf.printf "  %s\n" f) r.Bft_check.Runner.failures;
@@ -301,8 +332,18 @@ let fuzz_cmd =
   in
   let run verbose f seed seeds clients ops horizon_us schedule expect_no_view_change
       drain_us checkpoint_interval vc_timeout_us status_interval_us check_liveness
-      view_bound free_costs no_quiesce inject_no_vc_timer =
+      view_bound free_costs no_quiesce inject_no_vc_timer profile client_quota
+      retransmit_budget perf_watchdog =
     setup_logs verbose;
+    (match profile with
+    | Some name when Option.is_none (Bft_check.Schedule.find_profile name) ->
+        Printf.eprintf "unknown --profile %S (have: %s)\n" name
+          (String.concat ", "
+             (List.map
+                (fun p -> p.Bft_check.Schedule.pr_name)
+                Bft_check.Schedule.profiles));
+        exit 2
+    | _ -> ());
     let params =
       {
         (Bft_check.Runner.default_params ~seed ~f) with
@@ -319,6 +360,10 @@ let fuzz_cmd =
         free_costs;
         quiesce = not no_quiesce;
         suppress_vc_timer = inject_no_vc_timer;
+        profile;
+        client_quota;
+        retransmit_budget;
+        perf_watchdog;
       }
     in
     match schedule with
@@ -375,7 +420,8 @@ let fuzz_cmd =
     Term.(
       const run $ verbose $ f_arg $ seed_arg $ seeds_arg $ clients_arg $ ops_arg $ horizon_arg
       $ schedule_arg $ no_vc_arg $ drain_arg $ ckpt_arg $ vc_timeout_arg $ status_arg
-      $ liveness_arg $ view_bound_arg $ free_costs_arg $ no_quiesce_arg $ inject_arg)
+      $ liveness_arg $ view_bound_arg $ free_costs_arg $ no_quiesce_arg $ inject_arg
+      $ profile_arg $ quota_arg $ retx_budget_arg $ perf_vc_arg)
 
 (* --- explore --- *)
 

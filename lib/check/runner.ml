@@ -19,6 +19,10 @@ type params = {
   free_costs : bool;
   quiesce : bool;
   suppress_vc_timer : bool;
+  profile : string option;  (* named adversary profile merged into the schedule *)
+  client_quota : int option;  (* override Config.client_quota *)
+  retransmit_budget : int option;  (* enable the per-peer retransmission budget *)
+  perf_watchdog : bool;  (* enable the primary performance watchdog *)
 }
 
 let default_params ~seed ~f =
@@ -40,6 +44,10 @@ let default_params ~seed ~f =
     free_costs = false;
     quiesce = true;
     suppress_vc_timer = false;
+    profile = None;
+    client_quota = None;
+    retransmit_budget = None;
+    perf_watchdog = false;
   }
 
 type sim_counters = {
@@ -72,10 +80,22 @@ let op_for ~client_slot ~index = Printf.sprintf "put c%d.%d v%d" client_slot ind
 
 let schedule_rng seed = Rng.create (Int64.add (Int64.mul 1_000_003L (Int64.of_int seed)) 17L)
 
+let profile_events params =
+  match params.profile with
+  | None -> []
+  | Some name -> (
+      match Schedule.find_profile name with
+      | Some p ->
+          let n = (3 * params.f) + 1 in
+          p.Schedule.pr_events ~f:params.f ~n ~horizon_us:params.horizon_us
+      | None -> invalid_arg (Printf.sprintf "unknown adversary profile %S" name))
+
 let generate params =
   let n = (3 * params.f) + 1 in
-  Schedule.generate ~rng:(schedule_rng params.seed) ~f:params.f ~n
-    ~horizon_us:params.horizon_us
+  Schedule.merge
+    (Schedule.generate ~rng:(schedule_rng params.seed) ~f:params.f ~n
+       ~horizon_us:params.horizon_us)
+    (profile_events params)
 
 (* ------------------------------------------------------------------ *)
 (* Prepared (in-flight) runs                                           *)
@@ -100,7 +120,22 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
   let cfg =
     Config.make ~f:params.f ~checkpoint_interval:params.checkpoint_interval
       ~vc_timeout_us:params.vc_timeout_us ~status_interval_us:params.status_interval_us
-      ~debug_no_vc_timer:params.suppress_vc_timer ()
+      ~debug_no_vc_timer:params.suppress_vc_timer
+      ?client_quota:params.client_quota ?retransmit_budget:params.retransmit_budget
+      ~perf_watchdog:params.perf_watchdog ()
+  in
+  (* flood-client slot [k] maps to cluster client index [params.clients + k]:
+     flooders are extra clients beyond the workload set, created here so
+     the full pairwise key establishment covers them (their requests
+     authenticate — replicas must drop them by quota, not by MAC
+     failure) *)
+  let flood_slots =
+    List.fold_left
+      (fun acc e ->
+        match e.Schedule.action with
+        | Schedule.Flood (k, _) | Schedule.Flood_stop k -> max acc (k + 1)
+        | _ -> acc)
+      0 sched
   in
   (* Free costs must silence the service's execution-cost model too:
      otherwise executing a request leaves the replica CPU busy, a
@@ -115,8 +150,9 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
   let cluster =
     Cluster.create ~seed:(Int64.of_int params.seed)
       ?costs:(if params.free_costs then Some Bft_net.Costs.free else None)
-      ~service ~num_clients:params.clients ?obs cfg
+      ~service ~num_clients:(params.clients + flood_slots) ?obs cfg
   in
+  let flood_client k = Cluster.client cluster (params.clients + k) in
   let engine = Cluster.engine cluster and net = Cluster.network cluster in
   let n = cfg.Config.n in
   let victims = Schedule.victims sched in
@@ -171,6 +207,12 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
                && (match d with None -> true | Some x -> x = dst)
                && Schedule.matches c msg.Message.body))
     | Schedule.Release_all -> Network.release_all_held net
+    | Schedule.Cpu_scale (i, factor) -> Network.set_cpu_factor net ~id:i factor
+    | Schedule.Flood (k, interval_us) -> Client.flood (flood_client k) ~interval_us
+    | Schedule.Flood_stop k -> Client.flood_stop (flood_client k)
+    | Schedule.Wrong_mac i -> Replica.byzantine_wrong_mac (Cluster.replica cluster i) true
+    | Schedule.Wrong_mac_off i ->
+        Replica.byzantine_wrong_mac (Cluster.replica cluster i) false
   in
   List.iter
     (fun e ->
@@ -190,12 +232,17 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
          (Engine.of_us_float params.horizon_us)
          (fun () ->
            rules := [];
+           (* reset_faults also restores every node's cpu factor to 1.0 *)
            Network.reset_faults net;
            List.iter
              (fun i ->
                Replica.byzantine_equivocate (Cluster.replica cluster i) false;
-               Replica.mute (Cluster.replica cluster i) false)
-             victims));
+               Replica.mute (Cluster.replica cluster i) false;
+               Replica.byzantine_wrong_mac (Cluster.replica cluster i) false)
+             victims;
+           for k = 0 to flood_slots - 1 do
+             Client.flood_stop (flood_client k)
+           done));
   (* monotonicity probes on correct replicas every 20ms of virtual time.
      The explorer turns these off — probe events would pollute its timer
      enumeration — and checks monotonicity parent-against-child instead. *)
@@ -406,8 +453,11 @@ let shrink ?(budget = 200) params sched =
 let replay_line params sched =
   let d = default_params ~seed:params.seed ~f:params.f in
   let opt b s = if b then s else "" in
+  (* no [--profile]: profile events were merged into [sched] at generation
+     time, and floods are not idempotent — replay carries the expanded
+     schedule only *)
   Printf.sprintf
-    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s%s%s%s%s%s%s%s%s%s"
+    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s%s%s%s%s%s%s%s%s%s%s%s%s"
     params.seed params.f params.clients params.ops_per_client params.horizon_us
     (Schedule.to_string sched)
     (opt (params.drain_us <> d.drain_us) (Printf.sprintf " --drain-us %.0f" params.drain_us))
@@ -428,6 +478,13 @@ let replay_line params sched =
     (opt params.free_costs " --free-costs")
     (opt (not params.quiesce) " --no-quiesce")
     (opt params.suppress_vc_timer " --inject-no-vc-timer")
+    (match params.client_quota with
+    | Some q -> Printf.sprintf " --quota %d" q
+    | None -> "")
+    (match params.retransmit_budget with
+    | Some b -> Printf.sprintf " --retx-budget %d" b
+    | None -> "")
+    (opt params.perf_watchdog " --perf-vc")
 
 (* ------------------------------------------------------------------ *)
 (* Seed enumeration                                                    *)

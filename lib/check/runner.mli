@@ -44,6 +44,19 @@ type params = {
       (** Injected bug ({!Bft_core.Config.debug_no_vc_timer}): backups
           never arm the view-change timer. Used to validate that the
           explorer's liveness oracles catch a real stall. *)
+  profile : string option;
+      (** Named adversary profile ({!Schedule.profiles}) whose events are
+          merged into the generated schedule. Flood actions allocate extra
+          clients beyond the workload set: flood slot [k] is cluster
+          client [clients + k]. Replay lines never carry the profile —
+          the expanded events live in the schedule string. *)
+  client_quota : int option;  (** override {!Bft_core.Config.client_quota} *)
+  retransmit_budget : int option;
+      (** enable the per-peer retransmission budget
+          ({!Bft_core.Config.retransmit_budget}) *)
+  perf_watchdog : bool;
+      (** enable the primary performance watchdog
+          ({!Bft_core.Config.perf_watchdog}) *)
 }
 
 val default_params : seed:int -> f:int -> params
@@ -78,7 +91,8 @@ type run_result = {
 val failed : run_result -> bool
 
 val generate : params -> Schedule.t
-(** The fault schedule derived deterministically from [params.seed]. *)
+(** The fault schedule derived deterministically from [params.seed],
+    merged with the events of [params.profile] (if any). *)
 
 (** {2 Prepared runs}
 

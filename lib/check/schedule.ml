@@ -31,6 +31,11 @@ type action =
   | Hold_all
   | Release of msg_class * int option * int option * int
   | Release_all
+  | Cpu_scale of int * float
+  | Flood of int * float
+  | Flood_stop of int
+  | Wrong_mac of int
+  | Wrong_mac_off of int
 
 type event = { at_us : float; action : action }
 type t = event list
@@ -198,10 +203,63 @@ let victims t =
   List.filter_map
     (fun e ->
       match e.action with
-      | Crash_reboot i | Make_byzantine i | Mute i -> Some i
+      | Crash_reboot i | Make_byzantine i | Mute i | Wrong_mac i -> Some i
       | _ -> None)
     t
   |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Adversary profiles                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  pr_name : string;
+  pr_doc : string;
+  pr_events : f:int -> n:int -> horizon_us:float -> t;
+}
+
+(* The attack timelines mirror Chondros et al.'s "practicality" stress
+   tests. slow_primary waits for a quarter of the horizon so correct-speed
+   baseline latency exists before the primary degrades (the performance
+   watchdog needs a baseline to compare against); the other two start at
+   t=0 since they attack resource accounting, not relative timing. *)
+let profiles =
+  [
+    {
+      pr_name = "slow_primary";
+      pr_doc =
+        "initial primary keeps participating but its CPU runs 20x slower \
+         from 25% of the horizon on (degradation, not silence)";
+      pr_events =
+        (fun ~f:_ ~n:_ ~horizon_us ->
+          [ { at_us = Float.round (0.25 *. horizon_us); action = Cpu_scale (0, 20.0) } ]);
+    };
+    {
+      pr_name = "client_flood";
+      pr_doc =
+        "two misbehaving clients send fresh authenticated requests open-loop \
+         every 40us for the whole run";
+      pr_events =
+        (fun ~f:_ ~n:_ ~horizon_us:_ ->
+          [
+            { at_us = 0.0; action = Flood (0, 40.0) };
+            { at_us = 0.0; action = Flood (1, 40.0) };
+          ]);
+    };
+    {
+      pr_name = "mac_storm";
+      pr_doc =
+        "f non-primary replicas corrupt their outgoing MACs/authenticators \
+         and claim to be behind, forcing peers to retransmit";
+      pr_events =
+        (fun ~f ~n ~horizon_us:_ ->
+          List.init f (fun k -> { at_us = 0.0; action = Wrong_mac ((k + 1) mod n) }));
+    };
+  ]
+
+let find_profile name = List.find_opt (fun p -> String.equal p.pr_name name) profiles
+
+let merge a b = List.stable_sort (fun x y -> compare x.at_us y.at_us) (a @ b)
 
 (* ------------------------------------------------------------------ *)
 (* Textual encoding                                                    *)
@@ -257,6 +315,11 @@ let action_code = function
       Printf.sprintf "rel:%s:%s:%s:%d" (class_code c) (endpoint_code s) (endpoint_code d)
         nth
   | Release_all -> "relall"
+  | Cpu_scale (i, fac) -> Printf.sprintf "cpu:%d:%g" i fac
+  | Flood (slot, iv) -> Printf.sprintf "flood:%d:%g" slot iv
+  | Flood_stop slot -> Printf.sprintf "floodstop:%d" slot
+  | Wrong_mac i -> Printf.sprintf "wmac:%d" i
+  | Wrong_mac_off i -> Printf.sprintf "wmacoff:%d" i
 
 (* Event times must survive to_string/of_string exactly: explorer-emitted
    schedules carry release instants that are neither small nor integral, and
@@ -327,7 +390,9 @@ let parse_action s =
           let* g2 = parse_ids b in
           Ok (Partition (g1, g2))
       | _ -> parse_error "bad partition %S" groups)
-  | [ ("crash" | "restart" | "reboot" | "byz" | "mute" | "unmute") as verb; i ] -> (
+  | [ ("crash" | "restart" | "reboot" | "byz" | "mute" | "unmute" | "floodstop"
+      | "wmac" | "wmacoff") as verb; i;
+    ] -> (
       match int_of_string_opt i with
       | None -> parse_error "bad replica id %S" i
       | Some i -> (
@@ -337,7 +402,18 @@ let parse_action s =
           | "reboot" -> Ok (Crash_reboot i)
           | "byz" -> Ok (Make_byzantine i)
           | "mute" -> Ok (Mute i)
+          | "floodstop" -> Ok (Flood_stop i)
+          | "wmac" -> Ok (Wrong_mac i)
+          | "wmacoff" -> Ok (Wrong_mac_off i)
           | _ -> Ok (Unmute i)))
+  | [ "cpu"; i; fac ] -> (
+      match (int_of_string_opt i, float_of_string_opt fac) with
+      | Some i, Some fac when fac > 0.0 -> Ok (Cpu_scale (i, fac))
+      | _ -> parse_error "bad cpu-scale %S" s)
+  | [ "flood"; slot; iv ] -> (
+      match (int_of_string_opt slot, float_of_string_opt iv) with
+      | Some slot, Some iv when slot >= 0 && iv > 0.0 -> Ok (Flood (slot, iv))
+      | _ -> parse_error "bad flood %S" s)
   | [ "drop"; c; src; dst ] -> (
       match class_of_code c with
       | None -> parse_error "bad message class %S" c

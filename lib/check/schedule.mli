@@ -52,6 +52,20 @@ type action =
           [(class, src, dst)] ([None] = any endpoint); a no-op when fewer
           matches are held *)
   | Release_all  (** open the gate and deliver everything held, in order *)
+  | Cpu_scale of int * float
+      (** slow-but-correct node: multiply every CPU charge at the replica
+          by the factor (the slow-primary attack); reset at quiesce *)
+  | Flood of int * float
+      (** misbehaving client: flood-client slot [k] (network id beyond the
+          workload clients) starts sending fresh authenticated requests
+          open-loop every [interval_us] microseconds *)
+  | Flood_stop of int  (** stop the given flood-client slot *)
+  | Wrong_mac of int
+      (** victim: replica keeps participating but corrupts the MACs /
+          authenticator entries it sends to half its peers and understates
+          its protocol state, forcing retransmissions (the mac_storm
+          attack); cleared at quiesce *)
+  | Wrong_mac_off of int  (** return the replica to honest behaviour *)
 
 type event = { at_us : float; action : action }
 
@@ -65,8 +79,32 @@ val generate : rng:Bft_util.Rng.t -> f:int -> n:int -> horizon_us:float -> t
     the runner force-quiesces at the horizon regardless. *)
 
 val victims : t -> int list
-(** Replica ids subjected to replica-fault actions — the replicas a run's
-    safety oracles must exclude. Sorted, deduplicated. *)
+(** Replica ids subjected to replica-fault actions ([Crash_reboot],
+    [Make_byzantine], [Mute], [Wrong_mac]) — the replicas a run's safety
+    oracles must exclude. Sorted, deduplicated. [Cpu_scale] targets are
+    slow but correct and stay in the oracle set. *)
+
+(** {2 Adversary profiles}
+
+    Named attack timelines after Chondros et al. ("On the Practicality of
+    'Practical' BFT"): whole-system stress the paper's evaluation never
+    exercised. A profile expands to ordinary schedule events, so shrunk
+    counterexamples and [--schedule] replay lines round-trip without
+    carrying the profile name. *)
+
+type profile = {
+  pr_name : string;
+  pr_doc : string;
+  pr_events : f:int -> n:int -> horizon_us:float -> t;
+}
+
+val profiles : profile list
+(** [slow_primary], [client_flood], [mac_storm]. *)
+
+val find_profile : string -> profile option
+
+val merge : t -> t -> t
+(** Merge two schedules, re-sorting by time (stable). *)
 
 val matches : msg_class -> Bft_core.Message.t -> bool
 

@@ -45,12 +45,18 @@ type t = {
   mutable byz_partial : bool;
   (* smoothed response time for adaptive retransmission (Section 5.2) *)
   mutable srtt_us : float;
+  (* open-loop flooding (misbehaving-client attack profile) *)
+  mutable flood_timer : Engine.handle option;
 }
 
 let id t = t.id
 let busy t = t.pending <> None
 let completed t = t.completed
 let retransmissions t = t.retransmissions
+let srtt_us t = t.srtt_us
+
+let pending_retries t =
+  match t.pending with Some p -> Some p.p_retries | None -> None
 let byzantine_partial_auth t b = t.byz_partial <- b
 let charge t us = Network.charge t.d.net ~id:t.id us
 let replica_ids t = Config.replica_ids t.d.cfg
@@ -159,13 +165,34 @@ let try_complete t p =
       t.pending <- None;
       t.completed <- t.completed + 1;
       let latency = Engine.to_us (Int64.sub (Engine.now t.engine) p.p_started) in
+      (* clamp each sample to [srtt/4, 4*srtt]: one outlier reply (the
+         first after a view change, or a locally-served read) must not
+         collapse or blow up the smoothed RTT — a collapsed SRTT makes the
+         adaptive timeout fire before genuine replies can arrive and the
+         client thrashes with broadcast retransmissions *)
+      let sample =
+        if t.srtt_us > 0.0 then
+          Float.min (4.0 *. t.srtt_us) (Float.max (0.25 *. t.srtt_us) latency)
+        else latency
+      in
       t.srtt_us <-
-        (if t.srtt_us = 0.0 then latency else (0.8 *. t.srtt_us) +. (0.2 *. latency));
+        (if t.srtt_us = 0.0 then sample else (0.8 *. t.srtt_us) +. (0.2 *. sample));
       if Obs.enabled t.obs then
         Obs.client_complete t.obs ~now:(Engine.now t.engine)
           ~timestamp:p.p_req.timestamp ~latency_us:latency;
       p.p_callback ~result ~latency_us:latency
   | None -> ()
+
+(* A verified reply from a later view means a new primary is in charge:
+   besides bumping the view guess, reset the in-flight retry exponent —
+   the backoff measured the old primary, and carrying it into the new view
+   leaves the client stuck at a near-maximal timeout against a primary it
+   has never observed. *)
+let note_view t view =
+  if view > t.view_guess then begin
+    t.view_guess <- view;
+    match t.pending with Some p -> p.p_retries <- 0 | None -> ()
+  end
 
 let handle t (env : envelope) =
   match env.body with
@@ -204,7 +231,7 @@ let handle t (env : envelope) =
             | _, (Auth_none | Auth_vector _) -> false
           in
           if verified then begin
-            if rp.rp_view > t.view_guess then t.view_guess <- rp.rp_view;
+            note_view t rp.rp_view;
             let info =
               match rp.rp_result with
               | Full s ->
@@ -236,10 +263,51 @@ let create ?(obs = Obs.null) d ~id =
       retransmissions = 0;
       byz_partial = false;
       srtt_us = 0.0;
+      flood_timer = None;
     }
   in
   Network.add_node d.net ~id ~handler:(fun env -> handle t env);
   t
+
+(* Open-loop flooding (the client_flood attack profile): send a fresh
+   authenticated request to every replica each interval, never waiting for
+   replies. The requests are well-formed and verify, so replicas cannot
+   reject them cheaply — admission control must bound them. Ops carry the
+   client id and a strictly increasing timestamp, so they are unique and
+   keep the at-most-once / linearizability oracles valid. *)
+let rec flood_tick t interval_us =
+  t.flood_timer <-
+    Some
+      (Engine.schedule t.engine
+         ~label:(Printf.sprintf "flood%d" t.id)
+         ~delay:(Engine.of_us_float interval_us)
+         (fun () ->
+           match t.flood_timer with
+           | None -> ()
+           | Some _ ->
+               t.last_timestamp <- Int64.add t.last_timestamp 1L;
+               let req =
+                 {
+                   op = Printf.sprintf "flood c%d.%Ld" t.id t.last_timestamp;
+                   timestamp = t.last_timestamp;
+                   client = t.id;
+                   read_only = false;
+                   replier = t.id mod t.d.cfg.Config.n;
+                 }
+               in
+               send_request t req ~to_all:true;
+               flood_tick t interval_us))
+
+let flood t ~interval_us =
+  if interval_us <= 0.0 then invalid_arg "Client.flood: interval must be positive";
+  match t.flood_timer with Some _ -> () | None -> flood_tick t interval_us
+
+let flood_stop t =
+  match t.flood_timer with
+  | Some h ->
+      Engine.cancel h;
+      t.flood_timer <- None
+  | None -> ()
 
 let invoke t ?(read_only = false) ~op callback =
   if t.pending <> None then invalid_arg "Client.invoke: request already outstanding";

@@ -45,11 +45,27 @@ val completed : t -> int
 
 val retransmissions : t -> int
 
+val srtt_us : t -> float
+(** Smoothed measured response time driving the adaptive retransmission
+    timeout (Section 5.2). Exposed for tests and metrics. *)
+
+val pending_retries : t -> int option
+(** Retransmission count of the in-flight request, if any (tests). *)
+
 (** {2 Fault injection} *)
 
 val byzantine_partial_auth : t -> bool -> unit
 (** Corrupt part of the request authenticator (some replicas can verify it,
     others cannot) — the faulty-client scenario of Section 3.2.2. *)
+
+val flood : t -> interval_us:float -> unit
+(** Misbehaving-client attack: send a fresh authenticated request to all
+    replicas every [interval_us] microseconds, open-loop, ignoring replies.
+    Idempotent while already flooding. Raises [Invalid_argument] on a
+    non-positive interval. *)
+
+val flood_stop : t -> unit
+(** Stop flooding; a no-op when not flooding. *)
 
 val state_digest : t -> string
 (** Canonical, time-abstract fingerprint of the client-proxy state for the

@@ -23,6 +23,11 @@ type t = {
   key_refresh_us : float;
   null_exec_cost_us : float;
   debug_no_vc_timer : bool;
+  client_quota : int;
+  retransmit_budget : int option;
+  perf_watchdog : bool;
+  perf_factor : float;
+  perf_min_samples : int;
 }
 
 let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_batch = 16)
@@ -32,8 +37,14 @@ let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_ba
     ?(vc_timeout_us = 50_000.0)
     ?(status_interval_us = 10_000.0) ?(recovery = false)
     ?(watchdog_period_us = 2_000_000.0) ?(key_refresh_us = 500_000.0)
-    ?(debug_no_vc_timer = false) ~f () =
+    ?(debug_no_vc_timer = false) ?(client_quota = 64) ?retransmit_budget
+    ?(perf_watchdog = false) ?(perf_factor = 6.0) ?(perf_min_samples = 8) ~f () =
   if f < 1 then invalid_arg "Config.make: f must be >= 1";
+  if client_quota < 1 then invalid_arg "Config.make: client_quota must be >= 1";
+  (match retransmit_budget with
+  | Some b when b < 1 -> invalid_arg "Config.make: retransmit_budget must be >= 1"
+  | _ -> ());
+  if perf_factor <= 1.0 then invalid_arg "Config.make: perf_factor must be > 1";
   let log_size = match log_size with Some l -> l | None -> 2 * checkpoint_interval in
   if log_size < checkpoint_interval then
     invalid_arg "Config.make: log_size must be >= checkpoint_interval";
@@ -60,6 +71,11 @@ let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_ba
     key_refresh_us;
     null_exec_cost_us = 2.0;
     debug_no_vc_timer;
+    client_quota;
+    retransmit_budget;
+    perf_watchdog;
+    perf_factor;
+    perf_min_samples;
   }
 
 let primary t ~view = view mod t.n

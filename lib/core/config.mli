@@ -40,6 +40,32 @@ type t = {
           the view-change timer, so a faulty primary is never displaced —
           the liveness oracles must catch the resulting stall. Never set
           outside tests. *)
+  client_quota : int;
+      (** Admission control: maximum distinct requests a single client may
+          have in flight at a replica (queued, assigned to a batch, or
+          awaited from the primary). Requests beyond the quota are dropped
+          and counted, bounding the damage a flooding client can do to
+          others (Chondros et al.'s client-flood attack). Correct clients
+          run closed-loop with one outstanding request, so the default of
+          64 never fires outside an attack. *)
+  retransmit_budget : int option;
+      (** Per-peer retransmission budget: when [Some b], at most [b]
+          retransmitted protocol messages are sent to a given replica per
+          status interval, with exponential backoff on the refill period
+          while the peer keeps exhausting its budget. Defends against
+          wrong-MAC peers whose status messages always claim to be behind
+          (the mac_storm retransmission amplification). [None] (default)
+          preserves the paper's unbounded retransmission behaviour. *)
+  perf_watchdog : bool;
+      (** Primary performance monitoring: backups track the latency from
+          accepting a request to executing it and trigger a view change
+          when the smoothed latency degrades beyond [perf_factor] times
+          the best baseline observed, even though the primary is not
+          silent (the slow-primary attack). Off by default. *)
+  perf_factor : float;
+      (** Slowness threshold multiplier over the observed baseline. *)
+  perf_min_samples : int;
+      (** Executions observed before the watchdog baseline is trusted. *)
 }
 
 val make :
@@ -62,6 +88,11 @@ val make :
   ?watchdog_period_us:float ->
   ?key_refresh_us:float ->
   ?debug_no_vc_timer:bool ->
+  ?client_quota:int ->
+  ?retransmit_budget:int ->
+  ?perf_watchdog:bool ->
+  ?perf_factor:float ->
+  ?perf_min_samples:int ->
   f:int ->
   unit ->
   t

@@ -28,6 +28,9 @@ type counters = {
   mutable n_state_transfers : int;
   mutable n_recoveries : int;
   mutable bytes_fetched : int;
+  mutable n_admission_dropped : int;
+  mutable n_retransmit_suppressed : int;
+  mutable n_slowness_vc : int;
 }
 
 type stored_request = {
@@ -49,6 +52,18 @@ type transfer = {
   tx_ok_pages : (int, unit) Hashtbl.t; (* local pages proven up-to-date *)
   mutable tx_replier : int;
   mutable tx_timer : Engine.handle option;
+}
+
+(* Per-peer retransmission token bucket (active only when
+   [Config.retransmit_budget = Some b]): [b] retransmissions per refill
+   window, windows stretched exponentially while the peer keeps draining
+   its bucket dry — a wrong-MAC peer whose status always claims to be
+   behind gets geometrically less amplification out of us. *)
+type retx_state = {
+  mutable rx_tokens : int;
+  mutable rx_window_start : Engine.time;
+  mutable rx_backoff : float; (* multiplier on the status interval *)
+  mutable rx_exhausted : bool; (* bucket ran dry within this window *)
 }
 
 (* Recovery (Chapter 4) progress. *)
@@ -114,8 +129,22 @@ type t = {
   mutable vc_timer : Engine.handle option;
   mutable vc_timeout_us : float;
   mutable deferred_nv : new_view option; (* waiting for vcs or batches *)
-  (* client-request waiting set: request digest -> unit; drives vc timer *)
-  waiting : (string, unit) Hashtbl.t;
+  (* client-request waiting set: request digest -> arrival time; drives
+     the vc timer. The arrival time feeds the primary performance
+     watchdog only — state digests serialize the keys alone, so the
+     clock values never leak into explorer state identity. *)
+  waiting : (string, Engine.time) Hashtbl.t;
+  (* per-peer retransmission budget state (see [retx_state]) *)
+  retx : (int, retx_state) Hashtbl.t;
+  (* primary performance watchdog (Config.perf_watchdog): smoothed
+     accept->execute latency vs the best smoothed latency ever seen *)
+  mutable perf_ewma_us : float;
+  mutable perf_samples : int;
+  mutable perf_baseline_us : float; (* 0.0 = not yet established *)
+  mutable perf_fired_view : int; (* last view the watchdog fired in *)
+  mutable perf_view_start : Engine.time;
+      (* when the current view was entered: requests that arrived earlier
+         waited under the previous primary and must not feed the EWMA *)
   (* state transfer *)
   mutable transfer : transfer option;
   (* recovery *)
@@ -133,6 +162,9 @@ type t = {
   (* fault injection *)
   mutable byzantine : bool;
   mutable muted : bool;
+  (* keep participating but corrupt MACs/authenticator entries toward odd
+     peers and understate protocol state in status messages (mac_storm) *)
+  mutable wrong_mac : bool;
   (* primary fills with null batches until this checkpoint is stable, so a
      recovering replica's recovery point can be reached (Section 4.3.2) *)
   mutable null_fill_until : int;
@@ -187,6 +219,30 @@ let vector_bytes t ~dsts bytes =
   charge t (Costs.auth_gen_us t.costs (List.length dsts));
   Auth_vector (Bft_crypto.Auth.compute_authenticator t.d.keychain ~receivers:dsts bytes)
 
+(* mac_storm fault injection (the paper's Section 3.2.2 partial
+   authenticators, mounted by a replica): corrupt the authentication
+   material destined for odd-id peers. Half the group keeps verifying us,
+   so we stay live and inside the protocol; the other half silently drops
+   everything we send and keeps retransmitting its window to us. *)
+let wrong_mac_target t dst = t.wrong_mac && dst <> t.id && dst mod 2 = 1
+
+let corrupt_mac_tag (m : Bft_crypto.Auth.mac) =
+  let tag = Bytes.of_string m.Bft_crypto.Auth.tag in
+  if Bytes.length tag > 0 then
+    Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 0xff));
+  { m with Bft_crypto.Auth.tag = Bytes.to_string tag }
+
+let corrupt_auth t auth ~dsts =
+  match auth with
+  | Auth_vector a ->
+      Auth_vector
+        (List.fold_left
+           (fun a dst ->
+             if wrong_mac_target t dst then Bft_crypto.Auth.corrupt_entry a dst else a)
+           a dsts)
+  | Auth_mac m when List.exists (wrong_mac_target t) dsts -> Auth_mac (corrupt_mac_tag m)
+  | auth -> auth
+
 (* Multicast to all replicas (including self: the paper's replicas process
    their own protocol messages through the log). The body is encoded once;
    the single precomputed [envelope_size] covers every destination. *)
@@ -200,6 +256,7 @@ let broadcast t body =
       | Config.Sig_auth, _ -> sign_bytes t bytes
       | Config.Mac_auth, _ -> vector_bytes t ~dsts:(replica_ids t) bytes
     in
+    let auth = if t.wrong_mac then corrupt_auth t auth ~dsts:(replica_ids t) else auth in
     let env = { sender = t.id; body; auth; enc } in
     Network.multicast t.d.net ~src:t.id ~dsts:(replica_ids t)
       ~size:(Wire.envelope_size env) env
@@ -214,9 +271,58 @@ let send_to t ~dst body =
       | Config.Sig_auth -> sign_bytes t bytes
       | Config.Mac_auth -> mac_bytes t ~dst bytes
     in
+    let auth = if t.wrong_mac then corrupt_auth t auth ~dsts:[ dst ] else auth in
     let env = { sender = t.id; body; auth; enc } in
     Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
   end
+
+(* Per-peer retransmission budget (see [retx_state]): inert when
+   [Config.retransmit_budget] is [None]. *)
+let retx_allow t peer =
+  match t.d.cfg.Config.retransmit_budget with
+  | None -> true
+  | Some b ->
+      let st =
+        match Hashtbl.find_opt t.retx peer with
+        | Some st -> st
+        | None ->
+            let st =
+              {
+                rx_tokens = b;
+                rx_window_start = now t;
+                rx_backoff = 1.0;
+                rx_exhausted = false;
+              }
+            in
+            Hashtbl.replace t.retx peer st;
+            st
+      in
+      let window =
+        Engine.of_us_float (st.rx_backoff *. t.d.cfg.Config.status_interval_us)
+      in
+      if Int64.compare (Int64.sub (now t) st.rx_window_start) window >= 0 then begin
+        (* refill; a peer that drained the previous window dry waits
+           geometrically longer for the next one (capped) *)
+        st.rx_backoff <-
+          (if st.rx_exhausted then Float.min 16.0 (st.rx_backoff *. 2.0) else 1.0);
+        st.rx_tokens <- b;
+        st.rx_window_start <- now t;
+        st.rx_exhausted <- false
+      end;
+      if st.rx_tokens > 0 then begin
+        st.rx_tokens <- st.rx_tokens - 1;
+        true
+      end
+      else begin
+        st.rx_exhausted <- true;
+        t.counters.n_retransmit_suppressed <- t.counters.n_retransmit_suppressed + 1;
+        if Obs.enabled t.obs then Obs.retransmit_suppress t.obs ~now:(now t) ~peer;
+        false
+      end
+
+(* Retransmission-class point-to-point send, counted against the
+   destination's budget. *)
+let send_retx t ~dst body = if retx_allow t dst then send_to t ~dst body
 
 (* Send with no authentication (DATA replies are verified by digest,
    Section 5.3.2). *)
@@ -453,8 +559,38 @@ let stop_vc_timer t =
       t.vc_timer <- None
   | None -> ()
 
+(* Before demanding a view change over requests the primary failed to
+   order, re-relay them to the *next* primary: admission control makes
+   accept/drop decisions replica-locally, so a backup can hold a request
+   (and arm the vc timer for it) that the primary dropped at its quota.
+   Without the relay the cluster rotates views until every holder has
+   been primary once — one view change per divergently-accepted request.
+   With it, the incoming primary receives the union of the backups'
+   waiting sets and drains them in its first batches. Only active with
+   [Config.retransmit_budget] set, and spent against the destination's
+   budget: an unbounded relay-on-timeout would itself be an
+   amplification channel for the very floods the quota bounds. *)
+let relay_waiting t =
+  if Option.is_some t.d.cfg.Config.retransmit_budget && not t.muted then begin
+    let dst = primary_of t (t.view + 1) in
+    if dst <> t.id then
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt t.requests d with
+          | Some sr when retx_allow t dst ->
+              let env =
+                Message.envelope ~sender:t.id ~auth:sr.sr_token (Request sr.sr_req)
+              in
+              Network.send t.d.net ~src:t.id ~dst ~size:(Wire.envelope_size env) env
+          | _ -> ())
+        (List.sort String.compare (Hashtbl.fold (fun d _ acc -> d :: acc) t.waiting []))
+  end
+
 let start_vc_timer t =
-  if t.vc_timer = None && not t.d.cfg.Config.debug_no_vc_timer then
+  (* [Option.is_none], not [= None]: Engine.handle values must never meet
+     the polymorphic comparator (enforced by bftlint's
+     engine-handle-compare rule) *)
+  if Option.is_none t.vc_timer && not t.d.cfg.Config.debug_no_vc_timer then
     t.vc_timer <-
       Some
         (Engine.schedule t.engine
@@ -462,20 +598,100 @@ let start_vc_timer t =
            ~delay:(Engine.of_us_float t.vc_timeout_us)
            (fun () ->
              t.vc_timer <- None;
-             if t.active then !start_view_change_ref t (t.view + 1)))
+             if t.active then begin
+               relay_waiting t;
+               !start_view_change_ref t (t.view + 1)
+             end))
 
 let note_waiting t digest =
   if not (Hashtbl.mem t.waiting digest) then begin
-    Hashtbl.replace t.waiting digest ();
+    Hashtbl.replace t.waiting digest (now t);
     if t.active then start_vc_timer t
   end
 
+(* Primary performance watchdog (the slow-primary attack of Chondros et
+   al.): a primary that keeps answering timers but orders requests ever
+   more slowly never trips the silence-based vc timer. Backups smooth
+   the accept->execute latency of each request (EWMA) and keep the best
+   smoothed value ever observed as a baseline; when the current EWMA
+   degrades beyond [perf_factor] times that baseline the backup demands
+   a view change — once per view, from a zero-delay event so the view
+   change never reenters [execute_batch]. *)
+let perf_note_sample t arrival =
+  let cfg = t.d.cfg in
+  if
+    cfg.Config.perf_watchdog && (not (is_primary t))
+    && Int64.compare arrival t.perf_view_start >= 0
+  then begin
+    let sample = Int64.to_float (Int64.sub (now t) arrival) /. 1_000.0 in
+    t.perf_ewma_us <-
+      (if t.perf_samples = 0 then sample
+       else (0.8 *. t.perf_ewma_us) +. (0.2 *. sample));
+    t.perf_samples <- t.perf_samples + 1;
+    if t.perf_samples >= cfg.Config.perf_min_samples then
+      if t.perf_baseline_us = 0.0 || t.perf_ewma_us < t.perf_baseline_us then
+        t.perf_baseline_us <- t.perf_ewma_us
+      else if
+        t.active && t.perf_fired_view < t.view
+        && t.perf_ewma_us > cfg.Config.perf_factor *. t.perf_baseline_us
+      then begin
+        t.perf_fired_view <- t.view;
+        t.counters.n_slowness_vc <- t.counters.n_slowness_vc + 1;
+        if Obs.enabled t.obs then
+          Obs.slowness_view_change t.obs ~now:(now t) ~view:t.view
+            ~ewma_us:t.perf_ewma_us ~baseline_us:t.perf_baseline_us;
+        L.debug (fun m ->
+            m "replica %d: slow primary of view %d (ewma %.1fus baseline %.1fus)"
+              t.id t.view t.perf_ewma_us t.perf_baseline_us);
+        let v = t.view in
+        ignore
+          (Engine.schedule t.engine
+             ~label:(Printf.sprintf "perfvc%d" t.id)
+             ~delay:0L
+             (fun () ->
+               if t.active && t.view = v then !start_view_change_ref t (v + 1)))
+      end
+  end
+
 let clear_waiting t digest =
-  if Hashtbl.mem t.waiting digest then begin
-    Hashtbl.remove t.waiting digest;
+  match Hashtbl.find_opt t.waiting digest with
+  | None -> ()
+  | Some arrival ->
+      Hashtbl.remove t.waiting digest;
+      perf_note_sample t arrival;
+      if Hashtbl.length t.waiting = 0 then stop_vc_timer t
+      else if t.active then begin
+        (* restart for the next waiting request (FIFO fairness, 2.3.5) *)
+        stop_vc_timer t;
+        start_vc_timer t
+      end
+
+(* A client's execution advancing to timestamp [ts] supersedes every
+   waiting request it sent with an earlier timestamp: exactly-once
+   execution (the [last_reply] guard above) will never run them, so their
+   claim on the vc timer is dead. Without this purge, an open-loop
+   client whose requests were admission-dropped at the primary but
+   accepted here leaves permanent waiting entries that demand a view
+   change every timeout, forever — views rotate long after the flood
+   stops. Closed-loop clients never supersede (one outstanding request),
+   so the purge finds nothing in clean runs. Not routed through
+   [clear_waiting]: a request that never executed must not feed the
+   performance watchdog's latency EWMA. *)
+let purge_superseded t ~client ~ts =
+  let dead =
+    Hashtbl.fold
+      (fun d (_ : Engine.time) acc ->
+        match Hashtbl.find_opt t.requests d with
+        | Some sr
+          when sr.sr_req.client = client && Int64.compare sr.sr_req.timestamp ts <= 0
+          -> d :: acc
+        | _ -> acc)
+      t.waiting []
+  in
+  if dead <> [] then begin
+    List.iter (Hashtbl.remove t.waiting) dead;
     if Hashtbl.length t.waiting = 0 then stop_vc_timer t
     else if t.active then begin
-      (* restart for the next waiting request (FIFO fairness, 2.3.5) *)
       stop_vc_timer t;
       start_vc_timer t
     end
@@ -655,6 +871,7 @@ let execute_batch t n ~tentative =
                 wave := (req.client, req.op, result) :: !wave;
                 set_last_reply t req.client (req.timestamp, result, t.view);
                 clear_waiting t (Wire.request_digest req);
+                purge_superseded t ~client:req.client ~ts:req.timestamp;
                 (* reply: full result from the designated replier or for small
                    results; digest otherwise (Section 5.1.1) *)
                 let payload =
@@ -915,6 +1132,25 @@ let process_queue t =
 
 let () = process_queue_ref := process_queue
 
+(* Admission control (the client-flood attack of Chondros et al.): the
+   number of distinct requests a client currently has in the ordering
+   pipeline at this replica — queued, assigned to a batch, or awaited
+   from the primary. Computed from the live tables rather than a shadow
+   counter so it can never leak and permanently starve a client; the
+   tables are quota-bounded per client, so the scan stays small. *)
+let client_inflight t client =
+  let seen = Hashtbl.create 16 in
+  let note d =
+    if not (Hashtbl.mem seen d) then
+      match Hashtbl.find_opt t.requests d with
+      | Some sr when sr.sr_req.client = client -> Hashtbl.replace seen d ()
+      | _ -> ()
+  in
+  Hashtbl.iter (fun d () -> note d) t.queued;
+  Hashtbl.iter (fun d () -> note d) t.assigned;
+  Hashtbl.iter (fun d (_ : Engine.time) -> note d) t.waiting;
+  Hashtbl.length seen
+
 (* Accept and queue a client request (primary) or relay it (backup). *)
 let handle_request t (req : request) token ~verified ~relayed =
   let d = Wire.request_digest req in
@@ -938,6 +1174,24 @@ let handle_request t (req : request) token ~verified ~relayed =
                rp_result = Full result;
              })
     | None -> ()
+  end
+  else if
+    (* Per-client in-flight quota: a new request (retransmissions of a
+       request already in the pipeline always pass) beyond the quota is
+       dropped and counted, so a flooding client saturates its own slice
+       of the pipeline instead of everyone's. Correct clients run
+       closed-loop with one outstanding request and never get near the
+       default quota. The read-only fast path below bypasses the
+       ordering pipeline and is exempt. *)
+    (not (Hashtbl.mem t.queued d))
+    && (not (Hashtbl.mem t.assigned d))
+    && (not (Hashtbl.mem t.waiting d))
+    && (not (req.read_only && t.d.cfg.Config.read_only_opt && verified))
+    && client_inflight t req.client >= t.d.cfg.Config.client_quota
+  then begin
+    t.counters.n_admission_dropped <- t.counters.n_admission_dropped + 1;
+    if Obs.enabled t.obs then Obs.admission_drop t.obs ~now:(now t) ~client:req.client;
+    L.debug (fun m -> m "replica %d: admission drop client=%d" t.id req.client)
   end
   else begin
     ignore (store_request t req token verified);
@@ -1749,6 +2003,11 @@ let enter_new_view t (nv : new_view) =
   t.view <- v;
   t.active <- true;
   t.deferred_nv <- None;
+  (* new watchdog epoch: the smoothed latency of the old primary (and of
+     the view-change gap itself) says nothing about the new primary *)
+  t.perf_view_start <- now t;
+  t.perf_ewma_us <- 0.0;
+  t.perf_samples <- 0;
   stop_vc_timer t;
   (* prune view-change state for views before this one *)
   let prune_tbl tbl keep =
@@ -1906,6 +2165,21 @@ let send_status t =
        > 0
   in
   if backlogged then ()
+  else if t.active && t.wrong_mac then
+    (* mac_storm: understate our protocol state — claim an empty window
+       and nothing executed — so every peer re-sends its whole window to
+       us at each status beat (the amplification the per-peer
+       retransmission budget bounds) *)
+    broadcast t
+      (Status_active
+         {
+           sa_replica = t.id;
+           sa_view = t.view;
+           sa_h = Log.low_mark t.log;
+           sa_last_exec = Log.low_mark t.log;
+           sa_prepared = [];
+           sa_committed = [];
+         })
   else if t.active then begin
     (* sa_prepared: prepared but not committed; sa_committed: committed *)
     let prepared = ref [] and committed = ref [] in
@@ -1951,7 +2225,7 @@ let handle_status_active t (s : status_active) =
     if s.sa_view < t.view then begin
       (* bring the replica to our view *)
       match Hashtbl.find_opt t.my_vcs t.view with
-      | Some vc -> send_to t ~dst:r (View_change vc)
+      | Some vc -> send_retx t ~dst:r (View_change vc)
       | None -> ()
     end
     else if s.sa_view = t.view && t.active then begin
@@ -1965,18 +2239,18 @@ let handle_status_active t (s : status_active) =
                 if not peer_prepared then begin
                   (match e.Log.pp with
                   | Some pp when primary_of t e.Log.pp_view = t.id && e.Log.pp_view = t.view ->
-                      send_to t ~dst:r (Pre_prepare pp)
+                      send_retx t ~dst:r (Pre_prepare pp)
                   | _ -> ());
                   match Hashtbl.find_opt e.Log.prepares t.id with
                   | Some (v, d') when v = t.view ->
-                      send_to t ~dst:r
+                      send_retx t ~dst:r
                         (Prepare { pr_view = v; pr_seq = n; pr_digest = d'; pr_replica = t.id })
                   | _ -> ()
                 end;
                 if not (List.mem n s.sa_committed) then begin
                   match Hashtbl.find_opt e.Log.commits t.id with
                   | Some (v, d') ->
-                      send_to t ~dst:r
+                      send_retx t ~dst:r
                         (Commit { cm_view = v; cm_seq = n; cm_digest = d'; cm_replica = t.id })
                   | _ -> ()
                 end
@@ -1988,7 +2262,7 @@ let handle_status_active t (s : status_active) =
     if s.sa_h < stable then begin
       match Checkpoint_store.stable_tree t.ckpts with
       | Some tree ->
-          send_to t ~dst:r
+          send_retx t ~dst:r
             (Checkpoint
                {
                  ck_seq = stable;
@@ -2006,26 +2280,26 @@ let handle_status_pending t (s : status_pending) =
       (* our view-change for the peer's pending view (or ours, to pull it
          forward) *)
       (match Hashtbl.find_opt t.my_vcs (max s.sp_view t.view) with
-      | Some vc -> if not (List.mem t.id s.sp_vcs_seen) || s.sp_view < t.view then send_to t ~dst:r (View_change vc)
+      | Some vc -> if not (List.mem t.id s.sp_vcs_seen) || s.sp_view < t.view then send_retx t ~dst:r (View_change vc)
       | None -> ());
       (* retransmit acks for view-changes the peer lacks *)
       (match Hashtbl.find_opt t.my_acks s.sp_view with
       | Some acks ->
           List.iter
-            (fun a -> if not (List.mem a.va_origin s.sp_vcs_seen) then send_to t ~dst:r (View_change_ack a))
+            (fun a -> if not (List.mem a.va_origin s.sp_vcs_seen) then send_retx t ~dst:r (View_change_ack a))
             acks
       | None -> ());
       (* the primary retransmits the new-view *)
       (match Hashtbl.find_opt t.new_views s.sp_view with
       | Some nv when primary_of t s.sp_view = t.id && not s.sp_has_new_view ->
-          send_to t ~dst:r (New_view nv)
+          send_retx t ~dst:r (New_view nv)
       | _ -> ());
       (* and the view-change messages backing it *)
       if not s.sp_has_new_view then
         Hashtbl.iter
           (fun (v, sender) (vc, _) ->
             if v = s.sp_view && not (List.mem sender s.sp_vcs_seen) then
-              send_to t ~dst:r (View_change vc))
+              send_retx t ~dst:r (View_change vc))
           t.vcs
     end
     else begin
@@ -2282,7 +2556,7 @@ let handle_fetch_batch t (f : fetch_batch) =
   if f.fb_replica <> t.id then
     match Hashtbl.find_opt t.batches f.fb_digest with
     | Some (batch, nondet) ->
-        send_to t ~dst:f.fb_replica
+        send_retx t ~dst:f.fb_replica
           (Batch_data { bd_digest = f.fb_digest; bd_batch = batch; bd_nondet = nondet })
     | None -> ()
 
@@ -2307,7 +2581,7 @@ let handle_fetch_request t (f : fetch_request) =
   if f.fr_replica <> t.id then
     match Hashtbl.find_opt t.requests f.fr_digest with
     | Some sr ->
-        if not t.muted then begin
+        if (not t.muted) && retx_allow t f.fr_replica then begin
           let env = Message.envelope ~sender:t.id ~auth:sr.sr_token (Request sr.sr_req) in
           Network.send t.d.net ~src:t.id ~dst:f.fr_replica ~size:(Wire.envelope_size env) env
         end
@@ -2402,6 +2676,9 @@ let create ?(obs = Obs.null) d ~id =
           n_state_transfers = 0;
           n_recoveries = 0;
           bytes_fetched = 0;
+          n_admission_dropped = 0;
+          n_retransmit_suppressed = 0;
+          n_slowness_vc = 0;
         };
       view = 0;
       seqno = 0;
@@ -2432,6 +2709,12 @@ let create ?(obs = Obs.null) d ~id =
       vc_timeout_us = d.cfg.Config.vc_timeout_us;
       deferred_nv = None;
       waiting = Hashtbl.create 16;
+      retx = Hashtbl.create 8;
+      perf_ewma_us = 0.0;
+      perf_samples = 0;
+      perf_baseline_us = 0.0;
+      perf_view_start = 0L;
+      perf_fired_view = -1;
       transfer = None;
       recovering = None;
       hm_bound = max_int;
@@ -2441,6 +2724,7 @@ let create ?(obs = Obs.null) d ~id =
       batch_journal = [];
       byzantine = false;
       muted = false;
+      wrong_mac = false;
       null_fill_until = 0;
       status_timer = None;
       watchdog_timer = None;
@@ -2509,6 +2793,7 @@ let debug_dump t =
 
 let byzantine_equivocate t b = t.byzantine <- b
 let mute t b = t.muted <- b
+let byzantine_wrong_mac t b = t.wrong_mac <- b
 
 let corrupt_state t =
   (* trash the service state behind the protocol's back *)
@@ -2551,6 +2836,12 @@ let crash_reboot t =
   t.pending_ro <- [];
   t.deferred_nv <- None;
   Hashtbl.reset t.waiting;
+  Hashtbl.reset t.retx;
+  t.perf_ewma_us <- 0.0;
+  t.perf_samples <- 0;
+  t.perf_baseline_us <- 0.0;
+  t.perf_fired_view <- -1;
+  t.perf_view_start <- now t;
   stop_vc_timer t;
   t.active <- true;
   send_status t
@@ -2584,9 +2875,9 @@ let sorted_pair_keys h =
 let state_digest t =
   let b = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "r%d v=%d act=%b seqno=%d le=%d cu=%d lw=%d byz=%b muted=%b fill=%d hmb=%d vct=%h vcarm=%b|"
+  add "r%d v=%d act=%b seqno=%d le=%d cu=%d lw=%d byz=%b muted=%b wmac=%b fill=%d hmb=%d vct=%h vcarm=%b|"
     t.id t.view t.active t.seqno t.last_exec t.committed_upto (Log.low_mark t.log)
-    t.byzantine t.muted t.null_fill_until
+    t.byzantine t.muted t.wrong_mac t.null_fill_until
     (if t.hm_bound = max_int then -1 else t.hm_bound)
     t.vc_timeout_us
     (match t.vc_timer with Some h -> Engine.is_pending h | None -> false);

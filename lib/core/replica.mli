@@ -100,6 +100,13 @@ val byzantine_equivocate : t -> bool -> unit
 val mute : t -> bool -> unit
 (** Stop sending any message (fail-silent primary / backup). *)
 
+val byzantine_wrong_mac : t -> bool -> unit
+(** Keep participating in the protocol, but corrupt the MACs and
+    authenticator entries sent to odd-id peers and understate protocol
+    state in status messages, so correct replicas keep retransmitting
+    their window (the mac_storm attack; bounded by
+    [Config.retransmit_budget]). *)
+
 val corrupt_state : t -> unit
 (** Overwrite part of the service state, simulating the attacker of
     Section 4.1; proactive recovery must detect and repair it. *)
@@ -120,6 +127,12 @@ type counters = {
   mutable n_state_transfers : int;
   mutable n_recoveries : int;
   mutable bytes_fetched : int;
+  mutable n_admission_dropped : int;
+      (** requests dropped by per-client admission control *)
+  mutable n_retransmit_suppressed : int;
+      (** retransmissions withheld by the per-peer budget *)
+  mutable n_slowness_vc : int;
+      (** view changes demanded by the primary performance watchdog *)
 }
 
 val counters : t -> counters

@@ -11,6 +11,7 @@ let hashtbl_order = "hashtbl-order"
 let swallowed_exception = "swallowed-exception"
 let ignored_result = "ignored-result"
 let digest_compare = "digest-compare"
+let engine_handle_compare = "engine-handle-compare"
 let unsafe_op = "unsafe-op"
 let domain_containment = "domain-containment"
 
@@ -28,6 +29,10 @@ let all =
     (swallowed_exception, false, "catch-all try handlers hide faults; match specific exceptions");
     (ignored_result, true, "ignoring a result value silently drops the Error case");
     (digest_compare, true, "polymorphic compare on digest/key strings; use String.equal/compare");
+    ( engine_handle_compare,
+      true,
+      "polymorphic compare on Engine.handle values (they hold closures); use \
+       Option.is_none/is_some on timer slots" );
     (unsafe_op, false, "unchecked accesses only in the crypto / Paged_image allowlist");
     ( domain_containment,
       false,

@@ -22,6 +22,21 @@ let is_digest_material ty =
 
 let poly_compare_names = [ "Stdlib.="; "Stdlib.<>"; "Stdlib.=="; "Stdlib.!="; "Stdlib.compare" ]
 
+(* [Engine.handle] is a record holding the scheduled callback closure:
+   structural compare on one raises [Invalid_argument] at runtime the
+   moment both sides are [Some], so [t.timer = None]-style tests are
+   landmines that pass every test until a handle is actually present.
+   Matches the [handle] type constructor directly and through [option]
+   (the shape timer slots take). *)
+let rec is_engine_handle ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) -> (
+      match Path.last p with
+      | "handle" -> true
+      | "option" -> ( match args with [ a ] -> is_engine_handle a | _ -> false)
+      | _ -> false)
+  | _ -> false
+
 let is_result_ty ty =
   match Types.get_desc ty with
   | Types.Tconstr (p, _, _) -> String.equal (Path.last p) "result"
@@ -36,6 +51,12 @@ let expr ctx (it : Tast_iterator.iterator) e =
       (* The use site instantiates the comparator's type scheme; flag it
          when the operands are digest/key strings. *)
       match Types.get_desc e.exp_type with
+      | Types.Tarrow (_, arg, _, _) when is_engine_handle arg ->
+          report ctx ~loc ~rule:Rule.engine_handle_compare
+            (Printf.sprintf
+               "polymorphic %s on Engine.handle (holds closures); use Option.is_none / \
+                Option.is_some on the timer slot"
+               (Path.last p))
       | Types.Tarrow (_, arg, _, _) when is_digest_material arg ->
           report ctx ~loc ~rule:Rule.digest_compare
             (Printf.sprintf

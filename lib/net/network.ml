@@ -16,6 +16,9 @@ type 'msg node = {
   backlog : (int * 'msg) Queue.t;
   mutable draining : bool;
   mutable backlog_hwm : int; (* deepest backlog ever observed *)
+  (* multiplier on every CPU charge at this node; 1.0 is a correct node,
+     > 1.0 models a slow-but-correct node (adversary profiles) *)
+  mutable cpu_factor : float;
 }
 
 type 'msg t = {
@@ -76,6 +79,7 @@ let add_node t ~id ~handler =
       backlog = Queue.create ();
       draining = false;
       backlog_hwm = 0;
+      cpu_factor = 1.0;
     }
 
 let set_handler t ~id ~handler = (node t id).handler <- handler
@@ -84,7 +88,13 @@ let charge t ~id us =
   let n = node t id in
   let now = Engine.now t.engine in
   let base = if Int64.compare n.busy_until now > 0 then n.busy_until else now in
-  n.busy_until <- Int64.add base (Engine.of_us_float us)
+  n.busy_until <- Int64.add base (Engine.of_us_float (us *. n.cpu_factor))
+
+let set_cpu_factor t ~id f =
+  if f <= 0.0 then invalid_arg "Network.set_cpu_factor: factor must be positive";
+  (node t id).cpu_factor <- f
+
+let cpu_factor t ~id = (node t id).cpu_factor
 
 let busy_until t ~id = (node t id).busy_until
 let backlog t ~id = Queue.length (node t id).backlog
@@ -102,7 +112,7 @@ let partitioned t a b =
    (a single-server queue with O(1) events per message). *)
 let process t n ~size msg =
   let now = Engine.now t.engine in
-  let cost = Costs.recv_cpu_us t.costs size in
+  let cost = Costs.recv_cpu_us t.costs size *. n.cpu_factor in
   n.busy_until <- Int64.add now (Engine.of_us_float cost);
   t.stat.delivered <- t.stat.delivered + 1;
   n.handler msg
@@ -213,7 +223,9 @@ let departure t ~src ~size =
   let n = node t src in
   let now = Engine.now t.engine in
   let base = if Int64.compare n.busy_until now > 0 then n.busy_until else now in
-  let depart = Int64.add base (Engine.of_us_float (Costs.send_cpu_us t.costs size)) in
+  let depart =
+    Int64.add base (Engine.of_us_float (Costs.send_cpu_us t.costs size *. n.cpu_factor))
+  in
   n.busy_until <- depart;
   depart
 
@@ -312,5 +324,9 @@ let reset_faults t =
   t.partition <- None;
   t.adversary <- None;
   Hashtbl.reset t.link_loss;
-  Hashtbl.iter (fun id n -> if n.crashed then restart t ~id) t.nodes;
+  Hashtbl.iter
+    (fun id n ->
+      n.cpu_factor <- 1.0;
+      if n.crashed then restart t ~id)
+    t.nodes;
   if t.gate || t.held <> [] then release_all_held t

@@ -40,6 +40,15 @@ val charge : 'msg t -> id:int -> float -> unit
 
 val busy_until : 'msg t -> id:int -> Bft_sim.Engine.time
 
+val set_cpu_factor : 'msg t -> id:int -> float -> unit
+(** Multiplier applied to every CPU charge at the node (receive processing,
+    send processing, and protocol-layer {!charge}). [1.0] is the default
+    correct-node speed; factors above [1.0] model a slow-but-correct node —
+    the [slow_primary] adversary profile. Raises [Invalid_argument] on
+    non-positive factors. Reset to [1.0] by {!reset_faults}. *)
+
+val cpu_factor : 'msg t -> id:int -> float
+
 val backlog : 'msg t -> id:int -> int
 (** Number of messages waiting for the node's CPU. Periodic work in the
     protocol layer consults this to yield under overload, like a real
@@ -122,5 +131,6 @@ val release_all_held : 'msg t -> unit
 val reset_faults : 'msg t -> unit
 (** Return the network to a fault-free state in one call: zero loss and
     duplication, default jitter, no partition, no per-link loss, no
-    adversary, and every crashed node restarted. Used by the fuzzer to
-    quiesce after the fault-injection window. *)
+    adversary, every CPU factor back to [1.0], and every crashed node
+    restarted. Used by the fuzzer to quiesce after the fault-injection
+    window. *)

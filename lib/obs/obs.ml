@@ -39,6 +39,9 @@ type event =
   | Snapshot_rejected of { reason : string }
   | Invoke_timeout of { op : string }
   | Checkpoint_taken of { seq : int; bytes : int; dirty : int; clean : int }
+  | Admission_drop of { client : int }
+  | Retransmit_suppressed of { peer : int }
+  | Slowness_view_change of { view : int; ewma_us : float; baseline_us : float }
 
 type entry = { at : int64; ev : event }
 
@@ -66,6 +69,10 @@ type t = {
      in Bft_crypto.Vpool and are joined by the tools at dump time) *)
   mutable n_vpool_batches : int;
   mutable n_vpool_items : int;
+  (* defenses against Chondros-style "practicality" attacks *)
+  mutable n_admission_dropped : int;
+  mutable n_retransmit_suppressed : int;
+  mutable n_slowness_vc : int;
 }
 
 let make ~enabled ~node ~capacity =
@@ -85,6 +92,9 @@ let make ~enabled ~node ~capacity =
     n_ckpt_clean_pages = 0;
     n_vpool_batches = 0;
     n_vpool_items = 0;
+    n_admission_dropped = 0;
+    n_retransmit_suppressed = 0;
+    n_slowness_vc = 0;
   }
 
 let null = make ~enabled:false ~node:(-1) ~capacity:1
@@ -210,6 +220,24 @@ let vpool_submit t ~items =
     t.n_vpool_items <- t.n_vpool_items + items
   end
 
+let admission_drop t ~now ~client =
+  if t.t_enabled then begin
+    t.n_admission_dropped <- t.n_admission_dropped + 1;
+    record t ~at:now (Admission_drop { client })
+  end
+
+let retransmit_suppress t ~now ~peer =
+  if t.t_enabled then begin
+    t.n_retransmit_suppressed <- t.n_retransmit_suppressed + 1;
+    record t ~at:now (Retransmit_suppressed { peer })
+  end
+
+let slowness_view_change t ~now ~view ~ewma_us ~baseline_us =
+  if t.t_enabled then begin
+    t.n_slowness_vc <- t.n_slowness_vc + 1;
+    record t ~at:now (Slowness_view_change { view; ewma_us; baseline_us })
+  end
+
 let invoke_timeout t ~now ~op =
   if t.t_enabled then begin
     t.n_timeouts <- t.n_timeouts + 1;
@@ -267,6 +295,11 @@ let event_to_string = function
   | Checkpoint_taken { seq; bytes; dirty; clean } ->
       Printf.sprintf "checkpoint-taken n=%d digested=%dB dirty=%d clean=%d" seq bytes dirty
         clean
+  | Admission_drop { client } -> Printf.sprintf "admission-drop client=%d" client
+  | Retransmit_suppressed { peer } -> Printf.sprintf "retransmit-suppressed peer=%d" peer
+  | Slowness_view_change { view; ewma_us; baseline_us } ->
+      Printf.sprintf "slowness-view-change v=%d ewma=%.1fus baseline=%.1fus" view ewma_us
+        baseline_us
 
 let entry_to_string e =
   if Int64.equal e.at (-1L) then Printf.sprintf "[        --] %s" (event_to_string e.ev)
@@ -282,6 +315,9 @@ let checkpoint_dirty_pages t = t.n_ckpt_dirty_pages
 let checkpoint_clean_pages t = t.n_ckpt_clean_pages
 let vpool_batches t = t.n_vpool_batches
 let vpool_items t = t.n_vpool_items
+let admission_dropped t = t.n_admission_dropped
+let retransmit_suppressed t = t.n_retransmit_suppressed
+let slowness_view_changes t = t.n_slowness_vc
 
 let hist_line name h =
   Printf.sprintf "  %-20s count=%-6d mean=%8.1fus p50=%8.1fus p99=%8.1fus max=%8.1fus"
@@ -306,6 +342,9 @@ let summary_lines t =
       Printf.sprintf "  retransmissions=%d timeouts=%d snapshot_rejected=%d events=%d"
         t.n_retransmissions t.n_timeouts t.n_snapshot_rejected (Ring.total t.ring);
       Printf.sprintf "  vpool: batches=%d items=%d" t.n_vpool_batches t.n_vpool_items;
+      Printf.sprintf
+        "  admission_dropped=%d retransmit_suppressed=%d slowness_view_changes=%d"
+        t.n_admission_dropped t.n_retransmit_suppressed t.n_slowness_vc;
     ]
 
 let hist_json h =
@@ -334,6 +373,11 @@ let to_json t =
   Buffer.add_string b
     (Printf.sprintf ", \"vpool\": { \"batches\": %d, \"items\": %d }" t.n_vpool_batches
        t.n_vpool_items);
+  Buffer.add_string b
+    (Printf.sprintf
+       ", \"admission_dropped\": %d, \"retransmit_suppressed\": %d, \
+        \"slowness_view_changes\": %d"
+       t.n_admission_dropped t.n_retransmit_suppressed t.n_slowness_vc);
   Buffer.add_string b
     (Printf.sprintf
        ", \"retransmissions\": %d, \"timeouts\": %d, \"snapshot_rejected\": %d, \

@@ -45,6 +45,12 @@ type event =
   | Snapshot_rejected of { reason : string }
   | Invoke_timeout of { op : string }
   | Checkpoint_taken of { seq : int; bytes : int; dirty : int; clean : int }
+  | Admission_drop of { client : int }
+      (** A request beyond the client's in-flight quota was dropped. *)
+  | Retransmit_suppressed of { peer : int }
+      (** A retransmission to [peer] was withheld by the per-peer budget. *)
+  | Slowness_view_change of { view : int; ewma_us : float; baseline_us : float }
+      (** The primary performance watchdog demanded a view change. *)
 
 type entry = { at : int64; ev : event }
 (** [at] is virtual nanoseconds; [-1L] for events recorded outside the
@@ -96,6 +102,12 @@ val recovery_phase : t -> now:int64 -> string -> unit
 val snapshot_rejected : t -> reason:string -> unit
 val invoke_timeout : t -> now:int64 -> op:string -> unit
 
+val admission_drop : t -> now:int64 -> client:int -> unit
+val retransmit_suppress : t -> now:int64 -> peer:int -> unit
+
+val slowness_view_change :
+  t -> now:int64 -> view:int -> ewma_us:float -> baseline_us:float -> unit
+
 val checkpoint_taken :
   t -> now:int64 -> seq:int -> bytes:int -> dirty:int -> clean:int -> unit
 (** One checkpoint build: [bytes] actually digested, [dirty] pages
@@ -135,6 +147,12 @@ val checkpoint_clean_pages : t -> int
 val vpool_batches : t -> int
 val vpool_items : t -> int
 (** Cumulative verification-pool flushes / jobs submitted by this node. *)
+
+val admission_dropped : t -> int
+val retransmit_suppressed : t -> int
+val slowness_view_changes : t -> int
+(** Attack-defense counters (admission control, retransmission budget,
+    primary performance watchdog). *)
 
 val summary_lines : t -> string list
 (** Human-readable per-node metrics block (phase table + counters). *)

@@ -1,0 +1,5 @@
+type handle = { cancelled : bool ref; callback : unit -> unit }
+let stopped (h : handle option) = h = None
+let same (a : handle) (b : handle) = a = b
+let ordered (l : handle list) = List.sort compare l
+let is_none_is_fine (h : handle option) = Option.is_none h

@@ -39,6 +39,13 @@ let corpus =
     ( "bad_digest_compare.ml",
       true,
       [ (Rule.digest_compare, 1); (Rule.digest_compare, 2); (Rule.digest_compare, 3) ] );
+    ( "bad_handle_compare.ml",
+      true,
+      [
+        (Rule.engine_handle_compare, 2);
+        (Rule.engine_handle_compare, 3);
+        (Rule.engine_handle_compare, 4);
+      ] );
     ("bad_unsafe.ml", false, [ (Rule.unsafe_op, 1); (Rule.unsafe_op, 2) ]);
     ( "bad_domain.ml",
       false,
