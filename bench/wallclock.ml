@@ -538,6 +538,124 @@ let print_attacks clean rows =
   List.iter line rows
 
 (* ------------------------------------------------------------------ *)
+(* million-client workload: latency vs offered load (virtual time)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Open-loop Poisson arrivals over a derived-key cohort of 10^6
+   synthesized clients, swept across offered rates until committed
+   throughput stops following the offered rate — the saturation knee.
+   Virtual-time quantities: the curve is a pure function of (params,
+   rates), so the peak committed-ops/vsec gate cannot flake on a loaded
+   runner. Arrivals round-robin over the cohort, so with total_ops <<
+   clients every synthesized client issues at most one request and the
+   whole workload must complete. Adaptive batching is on — this is the
+   scenario it exists for (deep queues at overload want big batches;
+   light load wants small ones). *)
+
+type wl_row = {
+  wl_offered : float; (* offered arrivals per virtual second *)
+  wl_ops : int;
+  wl_vsecs : float;
+  wl_committed : float; (* committed ops per virtual second *)
+  wl_mean_us : float;
+  wl_p50_us : float;
+  wl_p99_us : float;
+}
+
+let workload_clients = 1_000_000
+
+let workload_run ~rate ~total_ops =
+  let params =
+    {
+      (Runner.default_params ~seed:2 ~f:1) with
+      Runner.adaptive_batch = true;
+      cohort =
+        Some
+          {
+            Bft_check.Cohort.k = workload_clients;
+            arrival = Open { rate_per_sec = rate; total_ops };
+            keys = Derived;
+          };
+    }
+  in
+  let lv = Runner.prepare params [] in
+  ignore
+    (Cluster.run_until
+       ~timeout_us:(params.Runner.horizon_us +. params.Runner.drain_us)
+       lv.Runner.lv_cluster
+       (fun () -> !(lv.Runner.lv_n_completed) >= lv.Runner.lv_total_ops));
+  let r = Runner.finish lv in
+  if r.Runner.failures <> [] then begin
+    Printf.eprintf "wallclock: workload rate %.0f violated safety: %s\n" rate
+      (String.concat "; " r.Runner.failures);
+    exit 2
+  end;
+  if r.Runner.completed_ops < r.Runner.total_ops then begin
+    Printf.eprintf "wallclock: workload rate %.0f: only %d/%d ops completed\n" rate
+      r.Runner.completed_ops r.Runner.total_ops;
+    exit 2
+  end;
+  let vsecs =
+    Engine.to_us (Engine.now (Cluster.engine lv.Runner.lv_cluster)) /. 1.0e6
+  in
+  let h = Bft_check.Cohort.latency_hist lv.Runner.lv_cohort in
+  {
+    wl_offered = rate;
+    wl_ops = r.Runner.completed_ops;
+    wl_vsecs = vsecs;
+    wl_committed = float_of_int r.Runner.completed_ops /. vsecs;
+    wl_mean_us = Hist.mean_us h;
+    wl_p50_us = Hist.percentile_us h 0.50;
+    wl_p99_us = Hist.percentile_us h 0.99;
+  }
+
+let bench_workload ~smoke =
+  let rates =
+    if smoke then [ 2_000.0; 5_000.0; 10_000.0; 20_000.0; 50_000.0 ]
+    else [ 1_000.0; 2_000.0; 5_000.0; 10_000.0; 20_000.0; 50_000.0; 100_000.0 ]
+  in
+  let total_ops = if smoke then 250 else 1_000 in
+  List.map (fun rate -> workload_run ~rate ~total_ops) rates
+
+let wl_peak rows = List.fold_left (fun a r -> Float.max a r.wl_committed) 0.0 rows
+
+let print_workload rows =
+  Printf.printf
+    "latency vs offered load (%d-client derived cohort, open-loop Poisson, adaptive \
+     batching):\n"
+    workload_clients;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  offered %8.0f/vs: committed %8.1f/vs in %7.1f vms  mean %8.1fus p50 %8.1fus \
+         p99 %8.1fus\n"
+        r.wl_offered r.wl_committed (r.wl_vsecs *. 1000.0) r.wl_mean_us r.wl_p50_us
+        r.wl_p99_us)
+    rows;
+  Printf.printf "  peak committed throughput: %.1f ops/vsec\n" (wl_peak rows)
+
+let workload_json rows =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"workload\": { \"simulated_clients\": %d, \"peak_ops_per_vsec\": %.1f, \
+        \"curve\": [\n"
+       workload_clients (wl_peak rows));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"offered_per_vsec\": %.0f, \"ops\": %d, \"virtual_seconds\": %.4f, \
+            \"committed_per_vsec\": %.1f, \"mean_us\": %.1f, \"p50_us\": %.1f, \
+            \"p99_us\": %.1f }%s\n"
+           r.wl_offered r.wl_ops r.wl_vsecs r.wl_committed r.wl_mean_us r.wl_p50_us
+           r.wl_p99_us
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ] }";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* pinned-seed determinism digests                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -555,7 +673,7 @@ let print_digests () =
 (* ------------------------------------------------------------------ *)
 
 let emit_json ~mode ~cores ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~pv ~e2e ~phases
-    ~ckpt ~atk_clean ~atk_rows path =
+    ~ckpt ~atk_clean ~atk_rows ~wl path =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
@@ -648,7 +766,9 @@ let emit_json ~mode ~cores ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~pv ~e2e 
            (attack_ratio atk_clean r) r.at_view_changes
            (if i = List.length atk_all - 1 then "" else ",")))
     atk_all;
-  Buffer.add_string b "  ]\n}\n";
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b (workload_json wl);
+  Buffer.add_string b "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -686,6 +806,7 @@ let () =
   let check = ref "" in
   let digests = ref false in
   let metrics_out = ref "" in
+  let latency_out = ref "" in
   (* the verification pool's domain count: --domains beats BFT_DOMAINS
      beats the single-domain default; also caps the parallel_verify sweep *)
   let domains =
@@ -702,6 +823,7 @@ let () =
     | "--out" :: p :: rest -> out := p; parse rest
     | "--check" :: p :: rest -> check := p; parse rest
     | "--metrics-out" :: p :: rest -> metrics_out := p; parse rest
+    | "--latency-out" :: p :: rest -> latency_out := p; parse rest
     | "--domains" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 -> domains := d; parse rest
@@ -740,6 +862,14 @@ let () =
     print_phases merged phase_e2e;
     let atk_clean, atk_rows = bench_attacks () in
     print_attacks atk_clean atk_rows;
+    let wl = bench_workload ~smoke in
+    print_workload wl;
+    if !latency_out <> "" then begin
+      let oc = open_out !latency_out in
+      output_string oc ("{\n" ^ workload_json wl ^ "\n}\n");
+      close_out oc;
+      Printf.printf "latency curve written to %s\n" !latency_out
+    end;
     if !metrics_out <> "" then begin
       let oc = open_out !metrics_out in
       output_string oc (Obs.registry_to_json reg);
@@ -747,7 +877,7 @@ let () =
       Printf.printf "metrics registry written to %s\n" !metrics_out
     end;
     emit_json ~mode:!mode ~cores ~fuzz ~sim ~enc ~pipe_cached ~pipe_uncached ~pv ~e2e
-      ~phases:(phase_rows merged phase_e2e) ~ckpt ~atk_clean ~atk_rows !out;
+      ~phases:(phase_rows merged phase_e2e) ~ckpt ~atk_clean ~atk_rows ~wl !out;
     if !check <> "" then begin
       let base = baseline_float !check "seeds_per_sec" in
       let cur = rate fuzz in
@@ -843,6 +973,20 @@ let () =
               r.at_name floor;
             exit 1
           end)
-        atk_rows
+        atk_rows;
+      (* peak committed throughput of the million-client workload sweep: a
+         virtual-time quantity, so the floor is baseline-relative only to
+         absorb intentional protocol-cost changes, not host noise *)
+      let wl_base = baseline_float !check "peak_ops_per_vsec" in
+      let wl_cur = wl_peak wl in
+      Printf.printf
+        "regression gate: workload peak %.1f ops/vsec vs baseline %.1f (floor %.1f)\n"
+        wl_cur wl_base (wl_base /. 2.0);
+      if wl_cur < wl_base /. 2.0 then begin
+        Printf.eprintf
+          "wallclock: FAIL — workload peak committed throughput regressed more than 2x \
+           below baseline\n";
+        exit 1
+      end
     end
   end

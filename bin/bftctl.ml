@@ -310,6 +310,40 @@ let fuzz_cmd =
             "Enable the primary performance watchdog: backups view-change a primary whose \
              smoothed request latency degrades well beyond the observed baseline.")
   in
+  let adaptive_batch_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive-batch" ]
+          ~doc:
+            "Enable the queue-depth-tracking batch sizer at the primary (deterministic; \
+             changes batch boundaries, so pinned digests do not apply).")
+  in
+  let cohort_k_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cohort-k" ] ~docv:"K"
+          ~doc:
+            "Replace the per-client drivers with one K-client cohort (O(1) memory in K). \
+             Requires --arrival; pairwise cohorts need K <= --clients.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "arrival" ] ~docv:"SPEC"
+          ~doc:
+            "Cohort arrival process: closed:<think_us>:<ops_per_client>, \
+             open:<rate_per_sec>:<total_ops>, or \
+             bursty:<base>:<peak>:<period_us>:<total_ops>. Open/bursty need \
+             --cohort-keys derived.")
+  in
+  let cohort_keys_arg =
+    Arg.(
+      value & opt string "pairwise"
+      & info [ "cohort-keys" ] ~docv:"MODE"
+          ~doc:
+            "Cohort key mode: 'pairwise' drives real clients; 'derived' synthesizes \
+             clients over group-derived MAC keys (supports millions of clients).")
+  in
   let print_failure params (r : Bft_check.Runner.run_result) =
     Printf.printf "FAILED oracles:\n";
     List.iter (fun f -> Printf.printf "  %s\n" f) r.Bft_check.Runner.failures;
@@ -333,8 +367,25 @@ let fuzz_cmd =
   let run verbose f seed seeds clients ops horizon_us schedule expect_no_view_change
       drain_us checkpoint_interval vc_timeout_us status_interval_us check_liveness
       view_bound free_costs no_quiesce inject_no_vc_timer profile client_quota
-      retransmit_budget perf_watchdog =
+      retransmit_budget perf_watchdog adaptive_batch cohort_k arrival cohort_keys =
     setup_logs verbose;
+    let bad msg =
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    in
+    let cohort =
+      match (cohort_k, arrival) with
+      | None, None -> None
+      | None, Some _ -> bad "--arrival requires --cohort-k"
+      | Some _, None -> bad "--cohort-k requires --arrival"
+      | Some k, Some a -> (
+          match
+            ( Bft_check.Cohort.parse_arrival a,
+              Bft_check.Cohort.parse_keys cohort_keys )
+          with
+          | Error e, _ | _, Error e -> bad e
+          | Ok arrival, Ok keys -> Some { Bft_check.Cohort.k; arrival; keys })
+    in
     (match profile with
     | Some name when Option.is_none (Bft_check.Schedule.find_profile name) ->
         Printf.eprintf "unknown --profile %S (have: %s)\n" name
@@ -364,6 +415,8 @@ let fuzz_cmd =
         client_quota;
         retransmit_budget;
         perf_watchdog;
+        adaptive_batch;
+        cohort;
       }
     in
     match schedule with
@@ -421,7 +474,8 @@ let fuzz_cmd =
       const run $ verbose $ f_arg $ seed_arg $ seeds_arg $ clients_arg $ ops_arg $ horizon_arg
       $ schedule_arg $ no_vc_arg $ drain_arg $ ckpt_arg $ vc_timeout_arg $ status_arg
       $ liveness_arg $ view_bound_arg $ free_costs_arg $ no_quiesce_arg $ inject_arg
-      $ profile_arg $ quota_arg $ retx_budget_arg $ perf_vc_arg)
+      $ profile_arg $ quota_arg $ retx_budget_arg $ perf_vc_arg $ adaptive_batch_arg
+      $ cohort_k_arg $ arrival_arg $ cohort_keys_arg)
 
 (* --- explore --- *)
 

@@ -23,6 +23,10 @@ type params = {
   client_quota : int option;  (* override Config.client_quota *)
   retransmit_budget : int option;  (* enable the per-peer retransmission budget *)
   perf_watchdog : bool;  (* enable the primary performance watchdog *)
+  adaptive_batch : bool;  (* enable Config.adaptive_batch at the replicas *)
+  cohort : Cohort.spec option;
+      (* workload generator; None = pairwise closed-loop over
+         [clients] x [ops_per_client], the classic driver *)
 }
 
 let default_params ~seed ~f =
@@ -48,6 +52,8 @@ let default_params ~seed ~f =
     client_quota = None;
     retransmit_budget = None;
     perf_watchdog = false;
+    adaptive_batch = false;
+    cohort = None;
   }
 
 type sim_counters = {
@@ -73,10 +79,6 @@ type run_result = {
 let failed r = r.failures <> []
 
 let service () = Bft_sm.Kv_service.create ()
-
-(* unique op string per (client slot, op index): the at-most-once oracle
-   relies on the workload never issuing the same op twice *)
-let op_for ~client_slot ~index = Printf.sprintf "put c%d.%d v%d" client_slot index index
 
 let schedule_rng seed = Rng.create (Int64.add (Int64.mul 1_000_003L (Int64.of_int seed)) 17L)
 
@@ -114,6 +116,7 @@ type live = {
   lv_n_completed : int ref;
   lv_total_ops : int;
   lv_monotonic : string list ref;
+  lv_cohort : Cohort.t;
 }
 
 let prepare ?obs ?(monotonic_probes = true) params sched =
@@ -122,7 +125,7 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
       ~vc_timeout_us:params.vc_timeout_us ~status_interval_us:params.status_interval_us
       ~debug_no_vc_timer:params.suppress_vc_timer
       ?client_quota:params.client_quota ?retransmit_budget:params.retransmit_budget
-      ~perf_watchdog:params.perf_watchdog ()
+      ~perf_watchdog:params.perf_watchdog ~adaptive_batch:params.adaptive_batch ()
   in
   (* flood-client slot [k] maps to cluster client index [params.clients + k]:
      flooders are extra clients beyond the workload set, created here so
@@ -226,6 +229,9 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
      run can finish its workload within the drain window.  Liveness-probe
      runs disable this: the question there is whether the system makes
      progress once the network turns timely, with replica faults intact. *)
+  (* the cohort is created below (after the probes), but the quiesce hook
+     must restore its aggregate CPU scaling — reset_faults wipes it *)
+  let cohort_ref = ref None in
   if params.quiesce then
     ignore
       (Engine.schedule_at engine ~label:"quiesce"
@@ -234,6 +240,7 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
            rules := [];
            (* reset_faults also restores every node's cpu factor to 1.0 *)
            Network.reset_faults net;
+           (match !cohort_ref with Some c -> Cohort.reset_cpu c | None -> ());
            List.iter
              (fun i ->
                Replica.byzantine_equivocate (Cluster.replica cluster i) false;
@@ -274,33 +281,22 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
     in
     probe ()
   end;
-  (* closed-loop clients issuing unique writes *)
-  let total_ops = params.clients * params.ops_per_client in
-  let completed = ref [] and n_completed = ref 0 in
-  let rec drive slot index =
-    if index < params.ops_per_client then begin
-      let cl = Cluster.client cluster slot in
-      let label = Printf.sprintf "drive%d" slot in
-      if Client.busy cl then
-        ignore
-          (Engine.schedule engine ~label ~delay:(Engine.us 500) (fun () -> drive slot index))
-      else
-        let op = op_for ~client_slot:slot ~index in
-        Client.invoke cl ~op (fun ~result ~latency_us:_ ->
-            completed := (n + slot, op, result) :: !completed;
-            incr n_completed;
-            ignore
-              (Engine.schedule engine ~label ~delay:(Engine.us 100) (fun () ->
-                   drive slot (index + 1))))
-    end
+  (* the workload cohort: the default spec reproduces the classic
+     closed-loop clients issuing unique writes, event for event *)
+  let spec =
+    match params.cohort with
+    | Some s -> s
+    | None ->
+        Cohort.default_closed ~k:params.clients ~ops_per_client:params.ops_per_client
   in
-  for slot = 0 to params.clients - 1 do
-    ignore
-      (Engine.schedule engine
-         ~label:(Printf.sprintf "drive%d" slot)
-         ~delay:(Engine.us (137 * (slot + 1)))
-         (fun () -> drive slot 0))
-  done;
+  let total_ops = Cohort.total_ops spec in
+  let completed = ref [] and n_completed = ref 0 in
+  let cohort =
+    Cohort.drive ~seed:params.seed cluster spec ~on_complete:(fun ~client ~op ~result ->
+        completed := (client, op, result) :: !completed;
+        incr n_completed)
+  in
+  cohort_ref := Some cohort;
   {
     lv_params = params;
     lv_sched = sched;
@@ -309,6 +305,7 @@ let prepare ?obs ?(monotonic_probes = true) params sched =
     lv_n_completed = n_completed;
     lv_total_ops = total_ops;
     lv_monotonic = monotonic_violations;
+    lv_cohort = cohort;
   }
 
 let finish lv =
@@ -457,7 +454,7 @@ let replay_line params sched =
      time, and floods are not idempotent — replay carries the expanded
      schedule only *)
   Printf.sprintf
-    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s%s%s%s%s%s%s%s%s%s%s%s%s"
+    "bftctl fuzz --seed %d -f %d --clients %d --ops %d --horizon-us %.0f --schedule '%s'%s%s%s%s%s%s%s%s%s%s%s%s%s%s%s"
     params.seed params.f params.clients params.ops_per_client params.horizon_us
     (Schedule.to_string sched)
     (opt (params.drain_us <> d.drain_us) (Printf.sprintf " --drain-us %.0f" params.drain_us))
@@ -485,6 +482,13 @@ let replay_line params sched =
     | Some b -> Printf.sprintf " --retx-budget %d" b
     | None -> "")
     (opt params.perf_watchdog " --perf-vc")
+    (opt params.adaptive_batch " --adaptive-batch")
+    (match params.cohort with
+    | Some s ->
+        Printf.sprintf " --cohort-k %d --arrival %s --cohort-keys %s" s.Cohort.k
+          (Cohort.arrival_to_string s.Cohort.arrival)
+          (Cohort.keys_to_string s.Cohort.keys)
+    | None -> "")
 
 (* ------------------------------------------------------------------ *)
 (* Seed enumeration                                                    *)

@@ -57,6 +57,18 @@ type params = {
   perf_watchdog : bool;
       (** enable the primary performance watchdog
           ({!Bft_core.Config.perf_watchdog}) *)
+  adaptive_batch : bool;
+      (** enable the queue-depth-tracking batch sizer
+          ({!Bft_core.Config.adaptive_batch}). Off by default: it changes
+          batch boundaries and hence the pinned history digests. *)
+  cohort : Cohort.spec option;
+      (** Workload generator. [None] (default) drives [clients] pairwise
+          closed-loop streams through [ops_per_client] unique writes each —
+          the classic driver, now routed through {!Cohort.drive} with a
+          byte-identical event sequence. A custom pairwise spec must keep
+          [k <= clients]: flood slots occupy the client indices beyond
+          [clients]. Derived-key specs synthesize clients outside the real
+          range, so any [k] works. *)
 }
 
 val default_params : seed:int -> f:int -> params
@@ -113,6 +125,9 @@ type live = {
   lv_n_completed : int ref;
   lv_total_ops : int;
   lv_monotonic : string list ref;
+  lv_cohort : Cohort.t;
+      (** the workload generator — its {!Cohort.latency_hist} carries the
+          per-op virtual-time latency of the run *)
 }
 
 val prepare :

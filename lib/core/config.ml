@@ -8,6 +8,7 @@ type t = {
   log_size : int;
   max_batch : int;
   batching : bool;
+  adaptive_batch : bool;
   window : int;
   tentative_execution : bool;
   read_only_opt : bool;
@@ -31,7 +32,8 @@ type t = {
 }
 
 let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_batch = 16)
-    ?(batching = true) ?(window = 16) ?(tentative_execution = true) ?(read_only_opt = true)
+    ?(batching = true) ?(adaptive_batch = false) ?(window = 16)
+    ?(tentative_execution = true) ?(read_only_opt = true)
     ?(digest_replies = true) ?(digest_replies_threshold = 32) ?(separate_tx_threshold = 255)
     ?(client_retry_us = 20_000.0) ?(client_retry_max_us = 60_000_000.0)
     ?(vc_timeout_us = 50_000.0)
@@ -56,6 +58,7 @@ let make ?(auth_mode = Mac_auth) ?(checkpoint_interval = 128) ?log_size ?(max_ba
     log_size;
     max_batch;
     batching;
+    adaptive_batch;
     window;
     tentative_execution;
     read_only_opt;

@@ -15,6 +15,14 @@ type t = {
   log_size : int;  (** L: high water mark is [h + L]; typically 2K *)
   max_batch : int;  (** max requests batched in one pre-prepare *)
   batching : bool;  (** Section 5.1.4; off = one request per instance *)
+  adaptive_batch : bool;
+      (** Queue-depth-tracking batch sizer at the primary: the batch target
+          doubles while the request queue keeps up with it (congestion) and
+          decays toward the observed depth when it does not, within
+          [1 .. max_batch]. Deterministic — the target depends only on the
+          sequence of queue depths at batch-formation points. Off by
+          default: enabling it changes batch boundaries and hence the
+          pinned committed-history digests. *)
   window : int;
       (** sliding window of concurrent protocol instances beyond the last
           executed batch; once full, arriving requests queue at the primary
@@ -74,6 +82,7 @@ val make :
   ?log_size:int ->
   ?max_batch:int ->
   ?batching:bool ->
+  ?adaptive_batch:bool ->
   ?window:int ->
   ?tentative_execution:bool ->
   ?read_only_opt:bool ->

@@ -99,8 +99,18 @@ type t = {
   ckpts : Checkpoint_store.t;
   batches : (string, batch_elem list * string) Hashtbl.t; (* digest -> batch, nondet *)
   requests : (string, stored_request) Hashtbl.t; (* request digest -> body *)
-  mutable queue : request list; (* primary FIFO of requests awaiting assignment *)
-  queued : (string, unit) Hashtbl.t; (* digests present in [queue] *)
+  (* primary FIFO of requests awaiting assignment: two-list queue so that
+     enqueue is O(1) — the plain-list [q @ [r]] append cost O(n) per arrival
+     and O(n^2) across a deep open-loop backlog. [queue_back] is reversed;
+     FIFO order is [queue_front @ List.rev queue_back]. *)
+  mutable queue_front : request list;
+  mutable queue_back : request list;
+  mutable queue_len : int;
+  (* adaptive batch sizer target (Config.adaptive_batch); depends only on
+     the queue depths observed at batch-formation points, so it is as
+     deterministic as the queue itself *)
+  mutable batch_target : int;
+  queued : (string, unit) Hashtbl.t; (* digests present in the queue *)
   (* digests assigned to a batch but not yet executed: retransmissions of
      an in-flight request must not be assigned a second sequence number *)
   assigned : (string, unit) Hashtbl.t;
@@ -176,6 +186,7 @@ type t = {
 
 let id t = t.id
 let view t = t.view
+let keychain t = t.d.keychain
 let is_active t = t.active
 let last_executed t = t.last_exec
 let committed_upto t = t.committed_upto
@@ -1037,6 +1048,38 @@ let () = try_execute_ref := try_execute
 (* Normal case: primary                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Primary request FIFO (two-list queue; see the field comments). *)
+let queue_push t r =
+  t.queue_back <- r :: t.queue_back;
+  t.queue_len <- t.queue_len + 1
+
+let queue_to_list t = t.queue_front @ List.rev t.queue_back
+
+let queue_clear t =
+  t.queue_front <- [];
+  t.queue_back <- [];
+  t.queue_len <- 0
+
+(* Up to [k] requests in FIFO order, removed from the queue. *)
+let queue_take t k =
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else
+      match t.queue_front with
+      | r :: tl ->
+          t.queue_front <- tl;
+          t.queue_len <- t.queue_len - 1;
+          go (k - 1) (r :: acc)
+      | [] ->
+          if t.queue_back = [] then List.rev acc
+          else begin
+            t.queue_front <- List.rev t.queue_back;
+            t.queue_back <- [];
+            go k acc
+          end
+  in
+  go k []
+
 (* Sliding-window bound on concurrent protocol instances (Section 5.1.4):
    the primary may run at most [window] instances beyond the last executed
    batch, and never outside the log's water marks. *)
@@ -1080,16 +1123,26 @@ let send_pre_prepare t batch nondet =
 let process_queue t =
   if is_primary t && t.active && not (is_recovering t && t.seqno >= t.hm_bound) then begin
     let continue = ref true in
-    while !continue && t.queue <> [] && in_send_window t (t.seqno + 1) && allowed_seq t (t.seqno + 1) do
+    while !continue && t.queue_len > 0 && in_send_window t (t.seqno + 1) && allowed_seq t (t.seqno + 1) do
       let cfg = t.d.cfg in
-      let take = if cfg.Config.batching then cfg.Config.max_batch else 1 in
-      let rec split k acc rest =
-        match rest with
-        | r :: tl when k > 0 -> split (k - 1) (r :: acc) tl
-        | _ -> (List.rev acc, rest)
+      let take =
+        if cfg.Config.adaptive_batch then begin
+          (* queue-depth-tracking sizer: while arrivals keep the queue at
+             or above the current target the target doubles (throughput
+             mode — amortize protocol overhead over bigger batches); when
+             the queue falls short the target decays toward the observed
+             depth (latency mode — do not hold requests back waiting for
+             a big batch that is not coming) *)
+          let depth = t.queue_len in
+          if depth >= t.batch_target then
+            t.batch_target <- min cfg.Config.max_batch (t.batch_target * 2)
+          else t.batch_target <- max 1 ((t.batch_target + depth + 1) / 2);
+          t.batch_target
+        end
+        else if cfg.Config.batching then cfg.Config.max_batch
+        else 1
       in
-      let chosen, rest = split take [] t.queue in
-      t.queue <- rest;
+      let chosen = queue_take t take in
       List.iter
         (fun r ->
           let d = Wire.request_digest r in
@@ -1098,6 +1151,7 @@ let process_queue t =
         chosen;
       if chosen = [] then continue := false
       else begin
+        if Obs.enabled t.obs then Obs.batch_formed t.obs ~len:(List.length chosen);
         let elems =
           List.map
             (fun r ->
@@ -1120,7 +1174,7 @@ let process_queue t =
     done;
     (* null-request filler during recoveries *)
     while
-      t.queue = []
+      t.queue_len = 0
       && Checkpoint_store.stable_seq t.ckpts < t.null_fill_until
       && t.seqno < t.null_fill_until
       && in_send_window t (t.seqno + 1)
@@ -1204,7 +1258,7 @@ let handle_request t (req : request) token ~verified ~relayed =
     end
     else if is_primary t then begin
       if verified && not (Hashtbl.mem t.queued d) && not (Hashtbl.mem t.assigned d) then begin
-        t.queue <- t.queue @ [ req ];
+        queue_push t req;
         Hashtbl.replace t.queued d ();
         process_queue t
       end
@@ -2688,7 +2742,10 @@ let create ?(obs = Obs.null) d ~id =
       ckpts = Checkpoint_store.create d.cfg ~page_size:d.page_size ~branching:d.branching;
       batches = Hashtbl.create 64;
       requests = Hashtbl.create 64;
-      queue = [];
+      queue_front = [];
+      queue_back = [];
+      queue_len = 0;
+      batch_target = 1;
       queued = Hashtbl.create 16;
       assigned = Hashtbl.create 16;
       last_reply = Hashtbl.create 16;
@@ -2785,7 +2842,7 @@ let debug_dump t =
   Printf.sprintf
     "r%d v=%d act=%b le=%d cu=%d seqno=%d stable=%d q=%d wait=%d defpp=%d nv=%b rec=%b hm=%d fill=%d"
     t.id t.view t.active t.last_exec t.committed_upto t.seqno
-    (Checkpoint_store.stable_seq t.ckpts) (List.length t.queue) (Hashtbl.length t.waiting)
+    (Checkpoint_store.stable_seq t.ckpts) t.queue_len (Hashtbl.length t.waiting)
     (List.length t.deferred_pps)
     (t.deferred_nv <> None) (t.recovering <> None)
     (if t.hm_bound = max_int then -1 else t.hm_bound)
@@ -2830,7 +2887,8 @@ let crash_reboot t =
   Log.clear_entries t.log;
   Hashtbl.reset t.batches;
   Hashtbl.reset t.requests;
-  t.queue <- [];
+  queue_clear t;
+  t.batch_target <- 1;
   Hashtbl.reset t.queued;
   t.deferred_pps <- [];
   t.pending_ro <- [];
@@ -2918,7 +2976,7 @@ let state_digest t =
   add "|bat:";
   List.iter (fun d -> add "%s;" (hexd d)) (sorted_string_keys t.batches);
   add "|queue:";
-  List.iter (fun r -> add "%s;" (hexd (Wire.request_digest r))) t.queue;
+  List.iter (fun r -> add "%s;" (hexd (Wire.request_digest r))) (queue_to_list t);
   add "|assigned:";
   List.iter (fun d -> add "%s;" (hexd d)) (sorted_string_keys t.assigned);
   add "|waiting:";

@@ -42,6 +42,12 @@ val start : t -> unit
 
 val id : t -> int
 val view : t -> int
+
+val keychain : t -> Bft_crypto.Keychain.t
+(** The replica's session-key chain — the workload harness installs a
+    {!Bft_crypto.Keychain.group} on it to stand in for the pairwise keys
+    of cohort-simulated clients. *)
+
 val is_active : t -> bool
 (** Normal-case operation in the current view (not mid view-change). *)
 

@@ -1,5 +1,36 @@
 type key = { secret : string; epoch : int }
 
+(* Group-derived session keys: one shared secret stands in for the
+   pairwise keys of a contiguous range of principal ids (the million-client
+   cohorts). A directional key is derived on demand as
+   [HMAC(group_secret, "key:src>dst")] at epoch 1, resuming the group
+   secret's cached key-block midstates for every derivation. Derived keys
+   are deliberately NOT cached: at 10^6 clients a per-peer cache at each
+   replica would cost gigabytes, while [Auth.verify_batch]'s per-flush
+   sender memo already shares each derivation (and its precompute) across
+   a whole batch. *)
+type group = {
+  g_first : int;
+  g_last : int;
+  g_pre : Hmac.precomputed;
+  mutable g_derivations : int; (* observability: one per on-demand derive *)
+}
+
+let group ~first ~last ~secret =
+  if first > last then invalid_arg "Keychain.group: empty range";
+  { g_first = first; g_last = last; g_pre = Hmac.precompute ~key:secret; g_derivations = 0 }
+
+let group_first g = g.g_first
+let group_last g = g.g_last
+let group_derivations g = g.g_derivations
+let group_mem g id = id >= g.g_first && id <= g.g_last
+
+let group_derive g ~src ~dst =
+  g.g_derivations <- g.g_derivations + 1;
+  let secret = Hmac.mac_precomputed g.g_pre (Printf.sprintf "key:%d>%d" src dst) in
+  let key = { secret; epoch = 1 } in
+  (key, Hmac.precompute ~key:secret)
+
 type t = {
   my_id : int;
   in_keys : (int, key) Hashtbl.t; (* peer -> key peer uses to send to us *)
@@ -13,6 +44,9 @@ type t = {
      here, beside the keychain that uses them. *)
   in_pre : (int, int * Hmac.precomputed) Hashtbl.t;
   out_pre : (int, int * Hmac.precomputed) Hashtbl.t;
+  (* fallback for peers in the group's id range when no pairwise key is
+     installed; explicitly installed keys always win *)
+  mutable group : group option;
 }
 
 let create ~my_id =
@@ -23,6 +57,7 @@ let create ~my_id =
     issued_epochs = Hashtbl.create 16;
     in_pre = Hashtbl.create 16;
     out_pre = Hashtbl.create 16;
+    group = None;
   }
 let my_id t = t.my_id
 
@@ -62,11 +97,32 @@ let precomputed cache keys ~peer =
       in
       Some (key, pre)
 
-let out_key_pre t ~peer = precomputed t.out_pre t.out_keys ~peer
-let in_key_pre t ~peer = precomputed t.in_pre t.in_keys ~peer
+let set_group t g = t.group <- Some g
+let group_of t = t.group
+
+(* [dir]: [`In] keys authenticate peer -> us, [`Out] keys us -> peer. *)
+let group_fallback t ~peer dir =
+  match t.group with
+  | Some g when group_mem g peer ->
+      let src, dst = match dir with `In -> (peer, t.my_id) | `Out -> (t.my_id, peer) in
+      Some (group_derive g ~src ~dst)
+  | _ -> None
+
+let out_key_pre t ~peer =
+  match precomputed t.out_pre t.out_keys ~peer with
+  | Some _ as r -> r
+  | None -> group_fallback t ~peer `Out
+
+let in_key_pre t ~peer =
+  match precomputed t.in_pre t.in_keys ~peer with
+  | Some _ as r -> r
+  | None -> group_fallback t ~peer `In
 
 let in_epoch t ~peer =
-  match Hashtbl.find_opt t.in_keys peer with Some k -> k.epoch | None -> 0
+  match Hashtbl.find_opt t.in_keys peer with
+  | Some k -> k.epoch
+  | None -> (
+      match t.group with Some g when group_mem g peer -> 1 | _ -> 0)
 
 let drop_all_in_keys t =
   Hashtbl.reset t.in_keys;

@@ -42,7 +42,46 @@ val in_key_pre : t -> peer:int -> (key * Hmac.precomputed) option
 (** Like {!in_key}, with cached midstates (see {!out_key_pre}). *)
 
 val in_epoch : t -> peer:int -> int
-(** Epoch of the current in-key for [peer]; 0 when none. *)
+(** Epoch of the current in-key for [peer]; 0 when none. Peers covered
+    only by an installed {!group} report epoch 1 (derived keys are
+    epoch-1 by construction). *)
+
+(** {2 Group-derived keys}
+
+    One shared secret standing in for the pairwise session keys of a
+    contiguous range of principal ids — the million-client cohort setup,
+    where materializing [k * n] pairwise keys (let alone their HMAC
+    midstate caches) is out of the question. A directional key is derived
+    on demand as [HMAC(group_secret, "key:src>dst")] at epoch 1, resuming
+    the group secret's cached key-block midstates. Derived keys are not
+    cached at the keychain: {!Auth.verify_batch}'s per-flush sender memo
+    already shares one derivation (and its precompute) across a batch,
+    which keeps replica-side memory O(1) in the range size. *)
+
+type group
+
+val group : first:int -> last:int -> secret:string -> group
+(** Shared group over principal ids [first..last] (inclusive). Raises
+    [Invalid_argument] on an empty range. *)
+
+val group_first : group -> int
+val group_last : group -> int
+val group_mem : group -> int -> bool
+
+val group_derive : group -> src:int -> dst:int -> key * Hmac.precomputed
+(** The directional key [src -> dst] with its key-block midstates.
+    Deterministic: every call for the same pair returns the same key. *)
+
+val group_derivations : group -> int
+(** Number of on-demand derivations performed through this group — lets
+    tests assert that a batched flush derives each sender's key once. *)
+
+val set_group : t -> group -> unit
+(** Install the group as a fallback: {!in_key_pre} / {!out_key_pre} /
+    {!in_epoch} derive on the fly for in-range peers that have no
+    explicitly installed pairwise key (installed keys always win). *)
+
+val group_of : t -> group option
 
 val drop_all_in_keys : t -> unit
 (** Forget every in-key (used on recovery: the old keys may be known to an

@@ -91,6 +91,14 @@ let max_domains = 16
 
 let create ~domains =
   let n_domains = max 1 (min max_domains domains) in
+  (* On hosts without real parallelism (recommended_domain_count < 2),
+     worker domains cannot pay for their wake-up/spin overhead: the smoke
+     baseline measured speedup_vs_1 of 0.60/0.68 at 2/4 domains on a
+     1-core box. Spawn no workers there — [run]'s existing
+     [Array.length t.workers = 0] check then routes every batch through
+     the sequential path. [domains t] still reports the requested width,
+     so pool identity and reconfiguration logic are unaffected. *)
+  let spawn_workers = Domain.recommended_domain_count () >= 2 in
   let t =
     {
       n_domains;
@@ -107,7 +115,8 @@ let create ~domains =
       c_hwm = 0;
     }
   in
-  t.workers <- Array.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  if spawn_workers then
+    t.workers <- Array.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
   t
 
 let shutdown t =

@@ -19,6 +19,10 @@ type 'msg node = {
   (* multiplier on every CPU charge at this node; 1.0 is a correct node,
      > 1.0 models a slow-but-correct node (adversary profiles) *)
   mutable cpu_factor : float;
+  (* set when this record backs a whole id range ({!add_node_range}): one
+     shared CPU/backlog stands in for k virtual nodes, and delivery passes
+     the concrete destination id to the handler *)
+  range_handler : (int -> 'msg -> unit) option;
 }
 
 type 'msg t = {
@@ -40,6 +44,9 @@ type 'msg t = {
      explorer releases them one at a time to enumerate delivery orders *)
   mutable gate : bool;
   mutable held : (int * int * int * 'msg) list; (* (src, dst, size, msg), oldest first *)
+  (* id ranges backed by a single shared node record, consulted when an id
+     misses [nodes]; kept short (one entry per cohort) *)
+  mutable ranges : (int * int * 'msg node) list;
 }
 
 let create ~engine ~costs ~rng () =
@@ -57,6 +64,7 @@ let create ~engine ~costs ~rng () =
     adversary = None;
     gate = false;
     held = [];
+    ranges = [];
   }
 
 let engine t = t.engine
@@ -66,7 +74,12 @@ let stats t = t.stat
 let node t id =
   match Hashtbl.find_opt t.nodes id with
   | Some n -> n
-  | None -> invalid_arg (Printf.sprintf "Network: unknown node %d" id)
+  | None ->
+      let rec scan = function
+        | [] -> invalid_arg (Printf.sprintf "Network: unknown node %d" id)
+        | (first, last, n) :: rest -> if id >= first && id <= last then n else scan rest
+      in
+      scan t.ranges
 
 let add_node t ~id ~handler =
   if Hashtbl.mem t.nodes id then
@@ -80,7 +93,28 @@ let add_node t ~id ~handler =
       draining = false;
       backlog_hwm = 0;
       cpu_factor = 1.0;
+      range_handler = None;
     }
+
+let add_node_range t ~first ~last ~handler =
+  if first > last then invalid_arg "Network.add_node_range: empty range";
+  if
+    List.exists (fun (f, l, _) -> first <= l && last >= f) t.ranges
+    || Hashtbl.fold (fun id _ hit -> hit || (id >= first && id <= last)) t.nodes false
+  then invalid_arg "Network.add_node_range: overlapping ids";
+  let n =
+    {
+      handler = ignore;
+      busy_until = 0L;
+      crashed = false;
+      backlog = Queue.create ();
+      draining = false;
+      backlog_hwm = 0;
+      cpu_factor = 1.0;
+      range_handler = Some handler;
+    }
+  in
+  t.ranges <- (first, last, n) :: t.ranges
 
 let set_handler t ~id ~handler = (node t id).handler <- handler
 
@@ -110,12 +144,12 @@ let partitioned t a b =
    to be free, charge receive cost, and invoke the handler. Arrivals while
    the CPU is busy enter a FIFO backlog drained by a single scheduled event
    (a single-server queue with O(1) events per message). *)
-let process t n ~size msg =
+let process t ~dst n ~size msg =
   let now = Engine.now t.engine in
   let cost = Costs.recv_cpu_us t.costs size *. n.cpu_factor in
   n.busy_until <- Int64.add now (Engine.of_us_float cost);
   t.stat.delivered <- t.stat.delivered + 1;
-  n.handler msg
+  match n.range_handler with Some h -> h dst msg | None -> n.handler msg
 
 let rec drain t ~dst =
   let n = node t dst in
@@ -135,7 +169,7 @@ let rec drain t ~dst =
       match Queue.take_opt n.backlog with
       | None -> n.draining <- false
       | Some (size, msg) ->
-          process t n ~size msg;
+          process t ~dst n ~size msg;
           if Queue.is_empty n.backlog then n.draining <- false
           else if Int64.compare n.busy_until now > 0 then
             ignore
@@ -168,7 +202,7 @@ let deliver t ~dst ~size msg =
              (fun () -> drain t ~dst))
       end
     end
-    else process t n ~size msg
+    else process t ~dst n ~size msg
   end
 
 let transmit t ~src ~dst ~size ~depart msg =
@@ -329,4 +363,9 @@ let reset_faults t =
       n.cpu_factor <- 1.0;
       if n.crashed then restart t ~id)
     t.nodes;
+  List.iter
+    (fun (first, _, n) ->
+      n.cpu_factor <- 1.0;
+      if n.crashed then restart t ~id:first)
+    t.ranges;
   if t.gate || t.held <> [] then release_all_held t

@@ -34,6 +34,17 @@ val add_node : 'msg t -> id:int -> handler:('msg -> unit) -> unit
 val set_handler : 'msg t -> id:int -> handler:('msg -> unit) -> unit
 (** Replace a node's handler (used when a replica reboots on recovery). *)
 
+val add_node_range : 'msg t -> first:int -> last:int -> handler:(int -> 'msg -> unit) -> unit
+(** Register the contiguous id range [first..last] (inclusive) backed by
+    ONE shared node record — one CPU, one backlog, one crash flag for the
+    whole range. The handler receives the concrete destination id along
+    with the message. This is the million-client cohort's network
+    footprint: O(1) state for k virtual clients. The cohort models the
+    aggregate CPU of its clients by scaling the shared node's
+    {!set_cpu_factor} (any range id addresses the shared record). Raises
+    [Invalid_argument] if the range is empty or overlaps an existing node
+    or range. *)
+
 val charge : 'msg t -> id:int -> float -> unit
 (** [charge t ~id us] consumes [us] microseconds of node [id]'s CPU,
     pushing back every subsequent delivery to and send from that node. *)

@@ -57,6 +57,7 @@ type t = {
   phase_hists : Hist.t array;
   e2e : Hist.t;
   ckpt_bytes : Hist.t; (* bytes digested per checkpoint (values are bytes, not us) *)
+  batch_occ : Hist.t; (* requests per formed batch (values are counts, not us) *)
   arrivals : (string, int64) Hashtbl.t; (* request digest -> arrival time *)
   marks : (int, int64 array) Hashtbl.t; (* seq -> per-phase first-transition times *)
   mutable n_retransmissions : int;
@@ -83,6 +84,7 @@ let make ~enabled ~node ~capacity =
     phase_hists = Array.init num_phases (fun _ -> Hist.create ());
     e2e = Hist.create ();
     ckpt_bytes = Hist.create ();
+    batch_occ = Hist.create ();
     arrivals = Hashtbl.create (if enabled then 64 else 1);
     marks = Hashtbl.create (if enabled then 64 else 1);
     n_retransmissions = 0;
@@ -214,6 +216,8 @@ let checkpoint_taken t ~now ~seq ~bytes ~dirty ~clean =
     record t ~at:now (Checkpoint_taken { seq; bytes; dirty; clean })
   end
 
+let batch_formed t ~len = if t.t_enabled then Hist.add t.batch_occ (float_of_int len)
+
 let vpool_submit t ~items =
   if t.t_enabled then begin
     t.n_vpool_batches <- t.n_vpool_batches + 1;
@@ -308,6 +312,7 @@ let entry_to_string e =
 let phase_hist t i = t.phase_hists.(i)
 let e2e_hist t = t.e2e
 let checkpoint_bytes_hist t = t.ckpt_bytes
+let batch_occupancy_hist t = t.batch_occ
 let retransmissions t = t.n_retransmissions
 let snapshot_rejections t = t.n_snapshot_rejected
 let timeouts t = t.n_timeouts
@@ -337,6 +342,13 @@ let summary_lines t =
         (Hist.count t.ckpt_bytes) (Hist.mean_us t.ckpt_bytes)
         (Hist.percentile_us t.ckpt_bytes 0.99) (Hist.max_us t.ckpt_bytes)
         t.n_ckpt_dirty_pages t.n_ckpt_clean_pages;
+    ]
+  @ [
+      Printf.sprintf
+        "  %-20s count=%-6d mean=%8.1f   p50=%8.0f   p99=%8.0f   max=%8.0f  (reqs/batch)"
+        "batch-occupancy" (Hist.count t.batch_occ) (Hist.mean_us t.batch_occ)
+        (Hist.percentile_us t.batch_occ 0.5) (Hist.percentile_us t.batch_occ 0.99)
+        (Hist.max_us t.batch_occ);
     ]
   @ [
       Printf.sprintf "  retransmissions=%d timeouts=%d snapshot_rejected=%d events=%d"
@@ -370,6 +382,13 @@ let to_json t =
        (Hist.count t.ckpt_bytes) (Hist.mean_us t.ckpt_bytes)
        (Hist.percentile_us t.ckpt_bytes 0.99) (Hist.max_us t.ckpt_bytes)
        t.n_ckpt_dirty_pages t.n_ckpt_clean_pages);
+  Buffer.add_string b
+    (Printf.sprintf
+       ", \"batch_occupancy\": { \"count\": %d, \"mean\": %.1f, \"p50\": %.0f, \"p99\": \
+        %.0f, \"max\": %.0f }"
+       (Hist.count t.batch_occ) (Hist.mean_us t.batch_occ)
+       (Hist.percentile_us t.batch_occ 0.5)
+       (Hist.percentile_us t.batch_occ 0.99) (Hist.max_us t.batch_occ));
   Buffer.add_string b
     (Printf.sprintf ", \"vpool\": { \"batches\": %d, \"items\": %d }" t.n_vpool_batches
        t.n_vpool_items);

@@ -114,6 +114,10 @@ val checkpoint_taken :
     re-hashed vs [clean] pages reused from the previous tree — the
     incremental-checkpointing effectiveness metric (Section 5.3). *)
 
+val batch_formed : t -> len:int -> unit
+(** One batch formed by the primary carrying [len] requests — feeds the
+    batch-occupancy histogram behind the adaptive batch sizer. *)
+
 val vpool_submit : t -> items:int -> unit
 (** One verification-pool flush by this node carrying [items] jobs. The
     pool's own global counters (merge high-water mark, worker share) live
@@ -135,6 +139,9 @@ val checkpoint_bytes_hist : t -> Hist.t
 (** Bytes digested per checkpoint. The histogram machinery is shared with
     the latency histograms, so the [_us] accessors on it read as plain
     bytes. *)
+
+val batch_occupancy_hist : t -> Hist.t
+(** Requests per batch formed at the primary (values are counts, not us). *)
 
 val retransmissions : t -> int
 val snapshot_rejections : t -> int

@@ -1,36 +1,46 @@
 type time = int64
 
-(* The heap below is the simulator's hottest loop (PR 2): every index is
-   kept in bounds by the size counter, so the unchecked array accesses
-   are justified here. *)
+(* The heap below is the simulator's hottest loop (PR 2, lifted again in
+   PR 9): every index is kept in bounds by the size counter, so the
+   unchecked array accesses are justified here. *)
 [@@@lint.allow "unsafe-op"]
 
-(* The event queue is an array-backed binary min-heap ordered by
+(* The event queue is a struct-of-arrays binary min-heap ordered by
    (fire time, scheduling sequence): the sequence number breaks ties so
-   same-time events fire in FIFO scheduling order, exactly like the
-   Map.Make queue this replaces. Cancellation is lazy — a cancelled event
-   stays in the heap and is discarded when it surfaces. To keep observable
-   behavior identical to the old queue, a surfacing cancelled event still
-   advances the clock and counts as a step (only its thunk is skipped);
-   [pending_events], however, counts live events only, via a shared counter
-   the handle can reach (a cancel has no engine in scope). *)
+   same-time events fire in FIFO scheduling order. Cancellation is lazy —
+   a cancelled event stays in the heap and is discarded when it surfaces.
+   To keep observable behavior identical to the boxed-record queue this
+   replaces, a surfacing cancelled event still advances the clock and
+   counts as a step (only its thunk is skipped); [pending_events] counts
+   live events only, via a shared counter the handle can reach (a cancel
+   has no engine in scope).
+
+   Layout: fire times and sequence numbers live in plain [int array]s so
+   the sift loops compare unboxed ints with no pointer chasing (virtual
+   nanoseconds fit comfortably in 63 bits — ~146 years); the handle,
+   label and thunk for each slot live in parallel payload arrays that are
+   only touched when a slot actually moves. There is no per-event record
+   at all — scheduling allocates exactly one [handle] — and vacated tail
+   slots are scrubbed on pop so fired thunks and their closures are never
+   retained by the heap. *)
 
 type handle = {
   mutable state : [ `Pending | `Fired | `Cancelled ];
   live : int ref; (* the owning engine's live-event counter *)
 }
 
-type event = {
-  at : time;
-  seq : int;
-  handle : handle;
-  label : string option; (* introspection tag for the explorer; inert otherwise *)
-  thunk : unit -> unit;
-}
-
 type t = {
-  mutable clock : time;
-  mutable heap : event array; (* slots [0, size) are the heap *)
+  mutable clock : int; (* virtual ns, unboxed *)
+  (* boxed mirror of [clock], synced lazily by [now]: [step] advances the
+     clock with a plain int store, and the box is (re)allocated at most
+     once per observed clock change instead of once per event *)
+  mutable clock_box : time;
+  (* struct-of-arrays heap; slots [0, size) are the queue *)
+  mutable at_a : int array;
+  mutable seq_a : int array;
+  mutable handle_a : handle array;
+  mutable label_a : string option array;
+  mutable thunk_a : (unit -> unit) array;
   mutable size : int;
   mutable seq : int;
   live : int ref;
@@ -39,10 +49,18 @@ type t = {
   mutable max_size : int; (* heap occupancy high-water mark *)
 }
 
+let dummy_thunk = ignore
+let dummy_handle = { state = `Fired; live = ref 0 }
+
 let create ?(seed = 1L) () =
   {
-    clock = 0L;
-    heap = [||];
+    clock = 0;
+    clock_box = 0L;
+    at_a = [||];
+    seq_a = [||];
+    handle_a = [||];
+    label_a = [||];
+    thunk_a = [||];
     size = 0;
     seq = 0;
     live = ref 0;
@@ -51,29 +69,67 @@ let create ?(seed = 1L) () =
     max_size = 0;
   }
 
-let now t = t.clock
+let now t =
+  if Int64.to_int t.clock_box <> t.clock then t.clock_box <- Int64.of_int t.clock;
+  t.clock_box
+
 let rng t = t.rng
 
-let[@inline] earlier a b =
-  match Int64.compare a.at b.at with 0 -> a.seq < b.seq | c -> c < 0
-
-let sift_up heap i =
-  let ev = Array.unsafe_get heap i in
+(* Hole-movement sift on the parallel arrays: comparisons touch only the
+   int arrays; payload slots are written once per level moved. *)
+let sift_up t i =
+  let at_a = t.at_a
+  and seq_a = t.seq_a
+  and handle_a = t.handle_a
+  and label_a = t.label_a
+  and thunk_a = t.thunk_a in
+  let at = Array.unsafe_get at_a i and sq = Array.unsafe_get seq_a i in
+  (* fast path: a freshly pushed event that is not earlier than its parent
+     (the common case — most schedules land in the future) stays put, with
+     no payload rewrite *)
+  if
+    i = 0
+    ||
+    let parent = (i - 1) / 2 in
+    let pat = Array.unsafe_get at_a parent in
+    pat < at || (pat = at && Array.unsafe_get seq_a parent < sq)
+  then ()
+  else begin
+  let h = Array.unsafe_get handle_a i
+  and lb = Array.unsafe_get label_a i
+  and th = Array.unsafe_get thunk_a i in
   let i = ref i in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    let p = Array.unsafe_get heap parent in
-    if earlier ev p then begin
-      Array.unsafe_set heap !i p;
+    let pat = Array.unsafe_get at_a parent in
+    if pat > at || (pat = at && Array.unsafe_get seq_a parent > sq) then begin
+      Array.unsafe_set at_a !i pat;
+      Array.unsafe_set seq_a !i (Array.unsafe_get seq_a parent);
+      Array.unsafe_set handle_a !i (Array.unsafe_get handle_a parent);
+      Array.unsafe_set label_a !i (Array.unsafe_get label_a parent);
+      Array.unsafe_set thunk_a !i (Array.unsafe_get thunk_a parent);
       i := parent
     end
     else continue := false
   done;
-  Array.unsafe_set heap !i ev
+    Array.unsafe_set at_a !i at;
+    Array.unsafe_set seq_a !i sq;
+    Array.unsafe_set handle_a !i h;
+    Array.unsafe_set label_a !i lb;
+    Array.unsafe_set thunk_a !i th
+  end
 
-let sift_down heap size i =
-  let ev = Array.unsafe_get heap i in
+let sift_down t size i =
+  let at_a = t.at_a
+  and seq_a = t.seq_a
+  and handle_a = t.handle_a
+  and label_a = t.label_a
+  and thunk_a = t.thunk_a in
+  let at = Array.unsafe_get at_a i and sq = Array.unsafe_get seq_a i in
+  let h = Array.unsafe_get handle_a i
+  and lb = Array.unsafe_get label_a i
+  and th = Array.unsafe_get thunk_a i in
   let i = ref i in
   let continue = ref true in
   while !continue do
@@ -82,53 +138,76 @@ let sift_down heap size i =
     else begin
       let r = l + 1 in
       let child =
-        if r < size && earlier (Array.unsafe_get heap r) (Array.unsafe_get heap l)
+        if
+          r < size
+          &&
+          let rat = Array.unsafe_get at_a r and lat = Array.unsafe_get at_a l in
+          rat < lat || (rat = lat && Array.unsafe_get seq_a r < Array.unsafe_get seq_a l)
         then r
         else l
       in
-      let c = Array.unsafe_get heap child in
-      if earlier c ev then begin
-        Array.unsafe_set heap !i c;
+      let cat = Array.unsafe_get at_a child in
+      if cat < at || (cat = at && Array.unsafe_get seq_a child < sq) then begin
+        Array.unsafe_set at_a !i cat;
+        Array.unsafe_set seq_a !i (Array.unsafe_get seq_a child);
+        Array.unsafe_set handle_a !i (Array.unsafe_get handle_a child);
+        Array.unsafe_set label_a !i (Array.unsafe_get label_a child);
+        Array.unsafe_set thunk_a !i (Array.unsafe_get thunk_a child);
         i := child
       end
       else continue := false
     end
   done;
-  Array.unsafe_set heap !i ev
+  Array.unsafe_set at_a !i at;
+  Array.unsafe_set seq_a !i sq;
+  Array.unsafe_set handle_a !i h;
+  Array.unsafe_set label_a !i lb;
+  Array.unsafe_set thunk_a !i th
 
-let push t ev =
-  if t.size = Array.length t.heap then begin
-    let cap = max 64 (2 * Array.length t.heap) in
-    let heap = Array.make cap ev in
-    Array.blit t.heap 0 heap 0 t.size;
-    t.heap <- heap
-  end;
-  Array.unsafe_set t.heap t.size ev;
-  sift_up t.heap t.size;
-  t.size <- t.size + 1;
+let grow t =
+  let cap = max 64 (2 * Array.length t.at_a) in
+  let at_a = Array.make cap 0
+  and seq_a = Array.make cap 0
+  and handle_a = Array.make cap dummy_handle
+  and label_a = Array.make cap None
+  and thunk_a = Array.make cap dummy_thunk in
+  Array.blit t.at_a 0 at_a 0 t.size;
+  Array.blit t.seq_a 0 seq_a 0 t.size;
+  Array.blit t.handle_a 0 handle_a 0 t.size;
+  Array.blit t.label_a 0 label_a 0 t.size;
+  Array.blit t.thunk_a 0 thunk_a 0 t.size;
+  t.at_a <- at_a;
+  t.seq_a <- seq_a;
+  t.handle_a <- handle_a;
+  t.label_a <- label_a;
+  t.thunk_a <- thunk_a
+
+let push t ~at ~seq ~handle ~label ~thunk =
+  if t.size = Array.length t.at_a then grow t;
+  let i = t.size in
+  Array.unsafe_set t.at_a i at;
+  Array.unsafe_set t.seq_a i seq;
+  Array.unsafe_set t.handle_a i handle;
+  Array.unsafe_set t.label_a i label;
+  Array.unsafe_set t.thunk_a i thunk;
+  t.size <- i + 1;
+  sift_up t i;
   if t.size > t.max_size then t.max_size <- t.size
 
-let pop t =
-  let ev = Array.unsafe_get t.heap 0 in
-  t.size <- t.size - 1;
-  if t.size > 0 then begin
-    Array.unsafe_set t.heap 0 (Array.unsafe_get t.heap t.size);
-    sift_down t.heap t.size 0
-  end;
-  ev
-
-let schedule_at ?label t at thunk =
-  let at = if Int64.compare at t.clock < 0 then t.clock else at in
+let schedule_at_i ?label t at thunk =
+  let at = if at < t.clock then t.clock else at in
   let seq = t.seq in
   t.seq <- t.seq + 1;
   let handle = { state = `Pending; live = t.live } in
-  push t { at; seq; handle; label; thunk };
+  push t ~at ~seq ~handle ~label ~thunk;
   incr t.live;
   handle
 
+let schedule_at ?label t at thunk = schedule_at_i ?label t (Int64.to_int at) thunk
+
 let schedule ?label t ~delay thunk =
   if Int64.compare delay 0L < 0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at ?label t (Int64.add t.clock delay) thunk
+  schedule_at_i ?label t (t.clock + Int64.to_int delay) thunk
 
 let cancel handle =
   if handle.state = `Pending then begin
@@ -142,13 +221,33 @@ let pending_events t = !(t.live)
 let step t =
   if t.size = 0 then false
   else begin
-    let ev = pop t in
-    t.clock <- ev.at;
-    if ev.handle.state = `Pending then begin
-      ev.handle.state <- `Fired;
+    let at = Array.unsafe_get t.at_a 0 in
+    let handle = Array.unsafe_get t.handle_a 0 in
+    let thunk = Array.unsafe_get t.thunk_a 0 in
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      Array.unsafe_set t.at_a 0 (Array.unsafe_get t.at_a last);
+      Array.unsafe_set t.seq_a 0 (Array.unsafe_get t.seq_a last);
+      Array.unsafe_set t.handle_a 0 (Array.unsafe_get t.handle_a last);
+      Array.unsafe_set t.label_a 0 (Array.unsafe_get t.label_a last);
+      Array.unsafe_set t.thunk_a 0 (Array.unsafe_get t.thunk_a last)
+    end;
+    (* scrub the vacated tail slot so the heap never retains a fired
+       event's closure or handle *)
+    Array.unsafe_set t.handle_a last dummy_handle;
+    Array.unsafe_set t.label_a last None;
+    Array.unsafe_set t.thunk_a last dummy_thunk;
+    if last > 1 then sift_down t last 0;
+    if at <> t.clock then begin
+      t.clock <- at;
+      t.clock_box <- Int64.of_int at
+    end;
+    if handle.state = `Pending then begin
+      handle.state <- `Fired;
       decr t.live;
       t.fired <- t.fired + 1;
-      ev.thunk ()
+      thunk ()
     end;
     true
   end
@@ -157,66 +256,56 @@ let events_fired t = t.fired
 let max_heap_size t = t.max_size
 
 (* Live-event introspection for the explorer: an O(size) scan of the heap
-   array (slots [0, size) hold the queue in heap order, not sorted order),
-   skipping lazily-cancelled entries. The scan allocates per call, so it is
+   arrays (slots [0, size) hold the queue in heap order, not sorted
+   order), skipping lazily-cancelled entries. Builds one list per call —
    for the explorer's step loop, not the simulation hot path. *)
 let live_events t =
   let acc = ref [] in
   for i = t.size - 1 downto 0 do
-    let ev = Array.unsafe_get t.heap i in
-    if ev.handle.state = `Pending then acc := (ev.at, ev.seq, ev.label) :: !acc
+    if (Array.unsafe_get t.handle_a i).state = `Pending then
+      acc :=
+        (Array.unsafe_get t.at_a i, Array.unsafe_get t.seq_a i, Array.unsafe_get t.label_a i)
+        :: !acc
   done;
   List.sort
     (fun (a, sa, _) (b, sb, _) ->
-      match Int64.compare a b with 0 -> Int.compare sa sb | c -> c)
+      match Int.compare a b with 0 -> Int.compare sa sb | c -> c)
     !acc
-  |> List.map (fun (at, _, label) -> (at, label))
+  |> List.map (fun (at, _, label) -> (Int64.of_int at, label))
 
+(* Sentinel scan: a plain int minimum over the live slots, allocating only
+   the final [Some] — nothing per candidate (the old option-accumulating
+   scan allocated on every improvement). *)
 let next_live_time t =
-  let best = ref None in
+  let best = ref max_int in
   for i = 0 to t.size - 1 do
-    let ev = Array.unsafe_get t.heap i in
-    if ev.handle.state = `Pending then
-      match !best with
-      | Some b when Int64.compare b ev.at <= 0 -> ()
-      | _ -> best := Some ev.at
+    let at = Array.unsafe_get t.at_a i in
+    if at < !best && (Array.unsafe_get t.handle_a i).state = `Pending then best := at
   done;
-  !best
+  if !best = max_int then None else Some (Int64.of_int !best)
 
 let default_max_events = 100_000_000
 
-let next_time t = if t.size = 0 then None else Some (Array.unsafe_get t.heap 0).at
-
 let run ?until ?(max_events = default_max_events) t =
+  let until_i = match until with None -> max_int | Some u -> Int64.to_int u in
   let rec loop remaining =
     if remaining <= 0 then ()
-    else
-      match next_time t with
-      | None -> ()
-      | Some at ->
-          let past_deadline =
-            match until with None -> false | Some u -> Int64.compare at u > 0
-          in
-          if past_deadline then ()
-          else if step t then loop (remaining - 1)
+    else if t.size = 0 then ()
+    else if Array.unsafe_get t.at_a 0 > until_i then ()
+    else if step t then loop (remaining - 1)
   in
   loop max_events
 
 let run_while t ?until pred =
+  let until_i = match until with None -> max_int | Some u -> Int64.to_int u in
   let rec loop () =
     if not (pred ()) then false
-    else
-      match next_time t with
-      | None -> true
-      | Some at ->
-          let past_deadline =
-            match until with None -> false | Some u -> Int64.compare at u > 0
-          in
-          if past_deadline then true
-          else begin
-            ignore (step t);
-            loop ()
-          end
+    else if t.size = 0 then true
+    else if Array.unsafe_get t.at_a 0 > until_i then true
+    else begin
+      ignore (step t);
+      loop ()
+    end
   in
   loop ()
 

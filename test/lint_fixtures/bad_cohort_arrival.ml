@@ -1,0 +1,8 @@
+(* An arrival process written the tempting-but-wrong way: self-seeded
+   randomness for the Poisson gaps and wall-clock time for the burst
+   phase. Either one makes a cohort workload unreplayable — the fence is
+   the determinism rules; the fix is Bft_util.Rng + Engine.now. *)
+let () = Random.self_init ()
+let poisson_gap_us rate = -.log (Random.float 1.0) /. rate *. 1e6
+let burst_phase period_us = Float.rem (Unix.gettimeofday () *. 1e6) period_us
+let _ = (poisson_gap_us, burst_phase)

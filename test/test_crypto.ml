@@ -210,6 +210,57 @@ let test_authenticator () =
   Alcotest.(check bool) "1 still accepts" true
     (Auth.verify_authenticator chains.(1) ~peer:0 corrupt msg)
 
+(* --- Group-derived keys (million-client cohorts) --- *)
+
+let test_group_keys () =
+  let g = Keychain.group ~first:100 ~last:1_000_099 ~secret:"group-secret" in
+  let replica = Keychain.create ~my_id:1 in
+  Keychain.set_group replica g;
+  (* a virtual client in range sends to replica 1: both sides derive the
+     same directional key, so the MAC round-trips *)
+  let client = 100_000 in
+  let key, pre = Keychain.group_derive g ~src:client ~dst:1 in
+  let msg = "put k v" in
+  let tag = Hmac.mac_truncated_precomputed pre Auth.tag_size msg in
+  let mac = { Auth.tag; epoch = key.Keychain.epoch } in
+  Alcotest.(check bool) "replica verifies derived mac" true
+    (Auth.verify_mac replica ~peer:client mac msg);
+  Alcotest.(check bool) "out of range has no key" false
+    (Auth.verify_mac replica ~peer:99 mac msg);
+  Alcotest.(check int) "derived epoch is 1" 1 (Keychain.in_epoch replica ~peer:client);
+  (* explicitly installed pairwise keys win over the group fallback *)
+  let rng = Bft_util.Rng.create 9L in
+  let k = Keychain.fresh_in_key replica rng ~peer:client in
+  Alcotest.(check bool) "pairwise key shadows group" false
+    (Auth.verify_mac replica ~peer:client mac msg);
+  ignore k
+
+let test_group_derivation_shared_across_flush () =
+  (* satellite: one key-block derivation per sender per verify_batch flush —
+     the per-flush memo must reuse the derived midstates for every item *)
+  let g = Keychain.group ~first:10 ~last:9_999 ~secret:"s" in
+  let replica = Keychain.create ~my_id:0 in
+  Keychain.set_group replica g;
+  let sender = 4_242 in
+  let _, pre = Keychain.group_derive g ~src:sender ~dst:0 in
+  let items =
+    Array.init 8 (fun i ->
+        let msg = Printf.sprintf "op-%d" i in
+        let mac =
+          { Auth.tag = Hmac.mac_truncated_precomputed pre Auth.tag_size msg; epoch = 1 }
+        in
+        Auth.Item_mac { peer = sender; mac; msg })
+  in
+  let before = Keychain.group_derivations g in
+  let verdicts = Auth.verify_batch replica items in
+  Alcotest.(check (array bool)) "all verify" (Array.make 8 true) verdicts;
+  Alcotest.(check int) "one derivation for the whole flush" (before + 1)
+    (Keychain.group_derivations g);
+  (* single-item fast path still derives exactly once *)
+  let one = [| items.(0) |] in
+  Alcotest.(check (array bool)) "singleton verifies" [| true |] (Auth.verify_batch replica one);
+  Alcotest.(check int) "singleton derives once" (before + 2) (Keychain.group_derivations g)
+
 (* --- Signatures --- *)
 
 let test_signature_roundtrip () =
@@ -297,6 +348,9 @@ let suites =
         Alcotest.test_case "stale epoch rejected" `Quick test_mac_stale_epoch_rejected;
         Alcotest.test_case "stale new-key rejected" `Quick test_stale_new_key_rejected;
         Alcotest.test_case "authenticator" `Quick test_authenticator;
+        Alcotest.test_case "group-derived keys" `Quick test_group_keys;
+        Alcotest.test_case "group derivation shared per flush" `Quick
+          test_group_derivation_shared_across_flush;
       ] );
     ( "crypto.signature",
       [

@@ -31,6 +31,11 @@ let corpus =
     ("bad_time.ml", false, [ (Rule.time, 1) ]);
     ("bad_getenv.ml", false, [ (Rule.getenv, 1) ]);
     ("bad_random.ml", false, [ (Rule.random, 1); (Rule.random, 2) ]);
+    (* cohort arrival processes must draw from seeded Rng streams and the
+       virtual clock; both escape hatches trip the determinism fence *)
+    ( "bad_cohort_arrival.ml",
+      false,
+      [ (Rule.random, 5); (Rule.random, 6); (Rule.unix, 7) ] );
     ("bad_marshal.ml", false, [ (Rule.marshal, 1) ]);
     ("bad_hashtbl_hash.ml", false, [ (Rule.hashtbl_hash, 1) ]);
     ("bad_hashtbl_order.ml", false, [ (Rule.hashtbl_order, 3) ]);

@@ -195,6 +195,27 @@ let test_default_pool_reconfigures () =
   Alcotest.(check int) "recreated with 1" 1 (Vpool.domains p');
   Alcotest.(check bool) "fresh pool" false (p == p')
 
+let test_low_core_fallback () =
+  (* on a host without real parallelism a multi-domain pool must spawn no
+     workers and run every batch sequentially (the 1-core smoke baseline
+     showed 2/4-domain pools at 0.60/0.68x the sequential rate); on a
+     multi-core host the same pool parallelizes — either way the verdicts
+     match the sequential oracle *)
+  let pool = Vpool.create ~domains:4 in
+  let job msg = Vpool.Check_digest { expect = Sha256.digest msg; msg } in
+  let jobs = Array.init 8 (fun i -> job (Printf.sprintf "fallback-%d" i)) in
+  let got = Vpool.run pool jobs in
+  Alcotest.(check (array bool)) "verdicts" (Array.make 8 true) got;
+  let st = Vpool.stats pool in
+  Alcotest.(check int) "reports requested width" 4 (Vpool.domains pool);
+  if Domain.recommended_domain_count () < 2 then begin
+    Alcotest.(check int) "no parallel batches on a 1-core host" 0
+      st.Vpool.st_parallel_batches;
+    Alcotest.(check int) "submitter ran the whole batch" 8 st.Vpool.st_helped
+  end
+  else Alcotest.(check int) "parallel batch on a multi-core host" 1 st.Vpool.st_parallel_batches;
+  Vpool.shutdown pool
+
 let test_shutdown_pools () =
   (* also exercises shutdown idempotence and run-after-shutdown *)
   List.iter
@@ -218,6 +239,7 @@ let suites =
           test_digest_parallel_safety;
         Alcotest.test_case "stats counters" `Quick test_stats_counters;
         Alcotest.test_case "default pool reconfigures" `Quick test_default_pool_reconfigures;
+        Alcotest.test_case "low-core fallback (sequential path)" `Quick test_low_core_fallback;
         Alcotest.test_case "shutdown (idempotent, inline fallback)" `Quick test_shutdown_pools;
       ] );
   ]
