@@ -765,7 +765,7 @@ let () =
   (* BFT_DOMAINS sizes the default verification pool (entry-point-only env
      access; lib/ is lint-banned from getenv). Parallelism is wall-clock
      only, so every subcommand's output is identical at any setting. *)
-  (match Sys.getenv_opt "BFT_DOMAINS" with
+  (match (Sys.getenv_opt [@lint.allow "determinism-getenv"]) "BFT_DOMAINS" with
   | Some s -> (
       match int_of_string_opt s with
       | Some n when n >= 1 -> Bft_crypto.Vpool.set_default_domains n

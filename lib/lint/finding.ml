@@ -1,4 +1,6 @@
-(* A single static-analysis finding, anchored to a source location. *)
+(* A single static-analysis finding, anchored to a source location.
+   Interprocedural findings additionally carry a [witness]: the call path
+   from the flagged root to the effect seed, printed by [bftlint --why]. *)
 
 type t = {
   rule : string;  (** rule id, e.g. ["determinism-unix"] *)
@@ -6,9 +8,11 @@ type t = {
   line : int;
   col : int;
   msg : string;
+  witness : string list;
+      (** call-path witness, outermost first; [[]] for intraprocedural rules *)
 }
 
-let v ~rule ~loc msg =
+let v ?(witness = []) ~rule ~loc msg =
   let p = loc.Location.loc_start in
   {
     rule;
@@ -16,6 +20,7 @@ let v ~rule ~loc msg =
     line = p.Lexing.pos_lnum;
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     msg;
+    witness;
   }
 
 let compare_pos a b =
@@ -24,6 +29,13 @@ let compare_pos a b =
   | c -> c
 
 let to_string f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+(* The --why rendering: the finding line followed by one indented line
+   per call-path hop, outermost (the flagged root) first. *)
+let why_lines f =
+  match f.witness with
+  | [] -> []
+  | first :: rest -> ("  why: " ^ first) :: List.map (fun w -> "    -> " ^ w) rest
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -39,9 +51,15 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let json_string_list ws =
+  "[" ^ String.concat ", " (List.map (fun w -> Printf.sprintf "\"%s\"" (json_escape w)) ws) ^ "]"
+
 let to_json f =
-  Printf.sprintf "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
+  Printf.sprintf
+    "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \"message\": \"%s\", \
+     \"witness\": %s}"
     (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
+    (json_string_list f.witness)
 
 let list_to_json fs =
   let b = Buffer.create 256 in
@@ -52,4 +70,39 @@ let list_to_json fs =
       Buffer.add_string b (to_json f))
     fs;
   Buffer.add_string b (Printf.sprintf "], \"count\": %d}" (List.length fs));
+  Buffer.contents b
+
+(* SARIF 2.1.0, the minimal subset GitHub code scanning ingests: one run,
+   one driver, one result per finding with a physical location; the
+   call-path witness rides along in the result's property bag. Columns
+   are 1-based in SARIF, 0-based in [t]. *)
+let list_to_sarif ~rules fs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "{\"version\": \"2.1.0\", \
+     \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\", \"runs\": [{\"tool\": \
+     {\"driver\": {\"name\": \"bftlint\", \"informationUri\": \
+     \"https://github.com/bft/bft\", \"rules\": [";
+  List.iteri
+    (fun i (id, _, rationale) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}"
+           (json_escape id) (json_escape rationale)))
+    rules;
+  Buffer.add_string b "]}}, \"results\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \"%s\"}, \
+            \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \
+            \"region\": {\"startLine\": %d, \"startColumn\": %d}}}], \"properties\": \
+            {\"witness\": %s}}"
+           (json_escape f.rule) (json_escape f.msg) (json_escape f.file) f.line (f.col + 1)
+           (json_string_list f.witness)))
+    fs;
+  Buffer.add_string b "]}]}";
   Buffer.contents b

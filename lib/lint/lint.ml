@@ -1,13 +1,21 @@
-(* Driver: run the syntactic rules over [.ml] sources and the type-aware
-   rules over the [.cmt] files dune leaves under [.objs/byte], apply the
-   per-directory allowlist, and report sorted findings. *)
+(* Driver: run the syntactic rules over [.ml] sources, the type-aware
+   rules over the [.cmt] files dune leaves under [.objs/byte], then the
+   whole-program pass (call graph -> effect fixpoint -> Vpool escape)
+   over every loaded typedtree at once; apply the per-directory
+   allowlist and report sorted findings. *)
 
 (* Built-in per-directory allowlist: unchecked accesses are the point of
-   the crypto kernels and the arenas; everywhere else they are a bug.
-   Domain primitives are fenced into the verification pool (and the
-   domain-local digest scratch in Sha256) so the determinism guarantee —
-   parallelism is wall-clock only, merged in submission order — stays
-   auditable at a glance. *)
+   the crypto kernels and the arenas; domain primitives are fenced into
+   the verification pool (and the domain-local digest scratch in Sha256)
+   so the determinism guarantee — parallelism is wall-clock only, merged
+   in submission order — stays auditable at a glance. The pool's own
+   worker closure necessarily captures the (mutable) pool record: that
+   file IS the trust boundary the pool-escape rule defends, so it is the
+   one place allowed to cross it.
+
+   bench/ and bin/ are drivers: wall-clock timing and environment
+   lookups are their job (the simulator itself never sees them), so the
+   determinism fence stops at lib/ + the protocol-reachable roots. *)
 let default_allowlist =
   [
     ("lib/crypto/", Rule.unsafe_op);
@@ -15,17 +23,30 @@ let default_allowlist =
     ("lib/net/wire_arena.ml", Rule.unsafe_op);
     ("lib/crypto/vpool", Rule.domain_containment);
     ("lib/crypto/sha256.ml", Rule.domain_containment);
+    ("lib/crypto/vpool", Rule.pool_escape);
   ]
 
-let contains_sub hay sub =
-  let lh = String.length hay and ls = String.length sub in
-  let rec go i = i + ls <= lh && (String.equal (String.sub hay i ls) sub || go (i + 1)) in
-  go 0
+let contains_sub = Bft_util.Strutil.contains_sub
 
 let allowed_by allowlist (f : Finding.t) =
   List.exists
     (fun (prefix, rule) -> String.equal rule f.Finding.rule && contains_sub f.Finding.file prefix)
     allowlist
+
+(* --allow PREFIX:RULE specs: a malformed spec is a hard usage error
+   (empty prefix, empty/unknown rule id) — silently dropping one would
+   run the gate with different rules than the caller asked for. *)
+let parse_allow spec =
+  match String.index_opt spec ':' with
+  | None -> Error (Printf.sprintf "malformed --allow %S (want PREFIX:RULE)" spec)
+  | Some i ->
+      let prefix = String.sub spec 0 i
+      and rule = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if String.length prefix = 0 || String.length rule = 0 then
+        Error (Printf.sprintf "malformed --allow %S (want PREFIX:RULE)" spec)
+      else if not (List.exists (String.equal rule) Rule.ids) then
+        Error (Printf.sprintf "unknown rule %S in --allow %S" rule spec)
+      else Ok (prefix, rule)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -44,12 +65,26 @@ let lint_ml_file ?path filename =
   let src = read_file (Option.value path ~default:filename) in
   Syntactic.lint (parse_impl ~filename src)
 
-(* Lint one [.cmt] file (type-aware rules only). Findings carry the
-   source path recorded at compile time, e.g. "lib/core/replica.ml". *)
-let lint_cmt_file path =
-  match (Cmt_format.read_cmt path).Cmt_format.cmt_annots with
-  | Cmt_format.Implementation tstr -> Typed.lint tstr
-  | _ -> []
+(* Load one [.cmt] file. Findings carry the source path recorded at
+   compile time, e.g. "lib/core/replica.ml". *)
+let load_cmt path =
+  let cmt = Cmt_format.read_cmt path in
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation tstr ->
+      Some
+        {
+          Callgraph.u_name = cmt.Cmt_format.cmt_modname;
+          u_file = Option.value cmt.Cmt_format.cmt_sourcefile ~default:path;
+          u_str = tstr;
+        }
+  | _ -> None
+
+(* The whole-program pass: build the cross-module call graph, run the
+   effect fixpoint, then the transitive-nondet and Vpool escape rules. *)
+let interprocedural units =
+  let cg = Callgraph.build units in
+  let summaries = Effects.infer cg in
+  Effects.findings cg summaries @ Escape.findings cg summaries
 
 (* Typecheck a standalone snippet against the initial environment so the
    fixture corpus can exercise the type-aware rules without dune in the
@@ -69,24 +104,39 @@ let typecheck str =
   | tstr, _, _, _, _ -> Ok tstr
   | exception exn -> Error (Printexc.to_string exn)
 
-(* Lint a source string with both rule sets. The second component tells
-   the caller whether the typed pass ran. *)
+let modname_of_filename filename =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename filename))
+
+(* Lint a source string with every rule set (the whole-program pass runs
+   on the single unit, so intra-file module laundering is visible). The
+   second component tells the caller whether the typed passes ran. *)
 let lint_source ~filename src =
   let str = parse_impl ~filename src in
   let syntactic = Syntactic.lint str in
   match typecheck str with
-  | Ok tstr -> (List.sort Finding.compare_pos (syntactic @ Typed.lint tstr), Ok ())
+  | Ok tstr ->
+      let unit =
+        { Callgraph.u_name = modname_of_filename filename; u_file = filename; u_str = tstr }
+      in
+      ( List.sort Finding.compare_pos (syntactic @ Typed.lint tstr @ interprocedural [ unit ]),
+        Ok () )
   | Error e -> (List.sort Finding.compare_pos syntactic, Error e)
 
 (* Walk [root/path] collecting sources and cmt artifacts. Sources are
    reported relative to [root]; directory order is sorted so runs are
    deterministic. [.cmti] files (interfaces) carry no expressions worth
-   checking; wrapper/alias cmts are harmless to scan. *)
-let gather ~root paths =
+   checking; wrapper/alias cmts are harmless to scan. Paths matching
+   [exclude] (substring) are skipped — the lint-fixture corpus violates
+   the rules on purpose. *)
+let default_exclude = [ "lint_fixtures" ]
+
+let gather ?(exclude = default_exclude) ~root paths =
+  let excluded rel = List.exists (fun e -> contains_sub rel e) exclude in
   let mls = ref [] and cmts = ref [] in
   let rec walk rel =
     let full = Filename.concat root rel in
-    if Sys.is_directory full then
+    if excluded rel then ()
+    else if Sys.is_directory full then
       Array.iter
         (fun name -> walk (Filename.concat rel name))
         (let names = Sys.readdir full in
@@ -106,11 +156,12 @@ type run = {
 }
 
 (* Lint a tree: syntactic rules over every [.ml], typed rules over every
-   [.cmt], allowlist applied to both. [allow] extends the built-in
+   [.cmt], the whole-program pass over all loaded units together, and
+   the allowlist applied to everything. [allow] extends the built-in
    per-directory allowlist with (path-prefix, rule-id) pairs. *)
-let lint_tree ?(allow = []) ~root paths =
+let lint_tree ?(allow = []) ?exclude ~root paths =
   let allowlist = allow @ default_allowlist in
-  let mls, cmts = gather ~root paths in
+  let mls, cmts = gather ?exclude ~root paths in
   let errors = ref [] in
   let of_ml rel =
     match lint_ml_file ~path:(Filename.concat root rel) rel with
@@ -119,14 +170,19 @@ let lint_tree ?(allow = []) ~root paths =
         errors := Printf.sprintf "%s: %s" rel (Printexc.to_string exn) :: !errors;
         []
   in
+  let units = ref [] in
   let of_cmt rel =
-    match lint_cmt_file (Filename.concat root rel) with
-    | fs -> fs
+    match load_cmt (Filename.concat root rel) with
+    | Some u ->
+        units := u :: !units;
+        Typed.lint u.Callgraph.u_str
+    | None -> []
     | exception exn ->
         errors := Printf.sprintf "%s: %s" rel (Printexc.to_string exn) :: !errors;
         []
   in
   let raw = List.concat_map of_ml mls @ List.concat_map of_cmt cmts in
+  let raw = raw @ interprocedural (List.rev !units) in
   let findings =
     List.sort Finding.compare_pos (List.filter (fun f -> not (allowed_by allowlist f)) raw)
   in

@@ -14,6 +14,9 @@ let digest_compare = "digest-compare"
 let engine_handle_compare = "engine-handle-compare"
 let unsafe_op = "unsafe-op"
 let domain_containment = "domain-containment"
+let transitive_nondet = "transitive-nondet"
+let pool_escape = "pool-escape"
+let mutable_global = "mutable-global"
 
 (* id, type-aware?, one-line rationale (the DESIGN.md catalogue mirrors
    this list; test_lint checks every id here has a fixture). *)
@@ -38,6 +41,20 @@ let all =
       false,
       "Domain/Atomic/Mutex/Condition only under the Vpool allowlist; parallelism must stay \
        behind the deterministic-merge boundary" );
+    ( transitive_nondet,
+      true,
+      "protocol handler / encoder / service execution transitively reaches a nondeterministic \
+       seed (wall clock, global Random, getenv) through the call graph; bftlint --why prints \
+       the call-path witness" );
+    ( pool_escape,
+      true,
+      "closure crossing the Vpool/Domain.spawn boundary captures a mutable value (ref, mutable \
+       record, Bytes/array outside the read-only scratch allowlist); parallel jobs must only \
+       read immutable data" );
+    ( mutable_global,
+      true,
+      "closure crossing the Vpool/Domain.spawn boundary calls code whose inferred effect \
+       writes top-level mutable state; a data race across the deterministic-merge boundary" );
   ]
 
 let ids = List.map (fun (id, _, _) -> id) all

@@ -40,10 +40,8 @@ let is_unsafe_access m f =
 
 (* Compiler primitives like "%caml_string_get16u" (trailing 'u' = unchecked). *)
 let is_unsafe_prim p =
-  let n = String.length p in
-  (n > 0 && String.ends_with ~suffix:"u" p && String.starts_with ~prefix:"%caml_" p)
-  || (let rec sub i = i + 6 <= n && (String.equal (String.sub p i 6) "unsafe" || sub (i + 1)) in
-      sub 0)
+  (String.length p > 0 && String.ends_with ~suffix:"u" p && String.starts_with ~prefix:"%caml_" p)
+  || Bft_util.Strutil.contains_sub p "unsafe"
 
 let classify_ident flat =
   match flat with
@@ -85,11 +83,7 @@ let classify_module flat =
 (* Binding names under which Hashtbl iteration order can reach persisted
    or transmitted bytes. *)
 let encoder_name n =
-  let has sub =
-    let ln = String.length n and ls = String.length sub in
-    let rec go i = i + ls <= ln && (String.equal (String.sub n i ls) sub || go (i + 1)) in
-    go 0
-  in
+  let has sub = Bft_util.Strutil.contains_sub n sub in
   has "encode" || has "snapshot" || has "digest" || has "wire" || has "serial"
 
 let in_encoder ctx = List.exists encoder_name ctx.bindings

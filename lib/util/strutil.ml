@@ -1,0 +1,4 @@
+let contains_sub hay sub =
+  let lh = String.length hay and ls = String.length sub in
+  let rec go i = i + ls <= lh && (String.equal (String.sub hay i ls) sub || go (i + 1)) in
+  go 0

@@ -1,0 +1,6 @@
+(** Small string helpers shared across the tree (the lint pass, tests and
+    drivers all need naive substring search; one definition, one test). *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub hay sub] is [true] iff [sub] occurs contiguously in
+    [hay]. [contains_sub s ""] is [true] for every [s]. *)

@@ -1,8 +1,3 @@
-(* Tiny substring helper for tests. *)
+(* Tiny substring helper for tests — the shared scanner under a test-local name. *)
 
-let contains haystack needle =
-  let nl = String.length needle and hl = String.length haystack in
-  if nl = 0 then true
-  else
-    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
-    go 0
+let contains = Bft_util.Strutil.contains_sub

@@ -1,0 +1,10 @@
+(* the closure itself captures nothing mutable — but a function it calls
+   writes a top-level ref, which the effect fixpoint propagates across
+   the pool boundary *)
+module Vpool = struct
+  let submit f = f ()
+end
+
+let total = ref 0
+let bump n = total := !total + n
+let handle_flush () = Vpool.submit (fun () -> bump 1)

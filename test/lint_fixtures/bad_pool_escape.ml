@@ -1,0 +1,14 @@
+(* a closure crossing the verification-pool boundary must not capture
+   mutable state; *scratch*-named pre-submission buffers are the one
+   documented exemption (the [ok] case below must stay silent) *)
+module Vpool = struct
+  let submit f = f ()
+end
+
+let bad () =
+  let hits = ref 0 in
+  Vpool.submit (fun () -> incr hits)
+
+let ok () =
+  let scratch = Bytes.make 8 'x' in
+  Vpool.submit (fun () -> Bytes.length scratch)

@@ -1,0 +1,13 @@
+(* the nondet seed is allowed (suppressing the syntactic report) at its
+   use site, then laundered through a second module: only the
+   whole-program effect pass sees that the protocol-reachable root still
+   inherits it *)
+module Entropy = struct
+  let sample () = (Random.float [@lint.allow "determinism-random"]) 1.0
+end
+
+module Jitter = struct
+  let next () = Entropy.sample () +. 0.5
+end
+
+let handle_request _req = Jitter.next ()

@@ -114,7 +114,7 @@ let test_hex_errors () =
 let prop_hex_roundtrip =
   QCheck.Test.make ~name:"hex roundtrip" ~count:200
     QCheck.(string_of_size Gen.(0 -- 64))
-    (fun s -> Bft_util.Hex.decode (Bft_util.Hex.encode s) = s)
+    (fun s -> String.equal (Bft_util.Hex.decode (Bft_util.Hex.encode s)) s)
 
 (* --- AdHash --- *)
 

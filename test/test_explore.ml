@@ -115,7 +115,7 @@ let test_injected_bug_found_and_replays () =
   | Some v ->
       Alcotest.(check bool) "names liveness-progress" true
         (List.exists
-           (fun f -> String.length f >= 17 && String.sub f 0 17 = "liveness-progress")
+           (fun f -> String.starts_with ~prefix:"liveness-progress" f)
            v.v_failures);
       (* the counterexample must survive the schedule codec and reproduce
          the identical failure through the ordinary replay entry point *)
@@ -151,7 +151,7 @@ let test_livelock_progress () =
   let r = Runner.run_schedule p (sched_of "0@mute:0") in
   Alcotest.(check bool) "liveness-progress fails" true
     (List.exists
-       (fun f -> String.length f >= 17 && String.sub f 0 17 = "liveness-progress")
+       (fun f -> String.starts_with ~prefix:"liveness-progress" f)
        r.Runner.failures);
   Alcotest.(check int) "nothing committed" 0 r.Runner.completed_ops
 
@@ -162,7 +162,7 @@ let test_livelock_view_bound () =
   let r = Runner.run_schedule (liveness_params ~seed:7) (sched_of "0@mute:0;0@crash:1") in
   Alcotest.(check bool) "liveness-view-bound fails" true
     (List.exists
-       (fun f -> String.length f >= 19 && String.sub f 0 19 = "liveness-view-bound")
+       (fun f -> String.starts_with ~prefix:"liveness-view-bound" f)
        r.Runner.failures);
   Alcotest.(check bool)
     (Printf.sprintf "view climbed past the bound (%d)" r.Runner.max_view)

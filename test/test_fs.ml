@@ -100,7 +100,10 @@ let prop_fs_snapshot_roundtrip =
         (fun i (_, content) ->
           let name = Printf.sprintf "f%d" i in
           match Fs.create_file fs ~dir:Fs.root ~name ~mtime:(Int64.of_int i) with
-          | Ok a -> ignore (Fs.write fs ~ino:a.Fs.a_ino ~off:0 ~data:content ~mtime:0L)
+          | Ok a -> (
+              match Fs.write fs ~ino:a.Fs.a_ino ~off:0 ~data:content ~mtime:0L with
+              | Ok _ -> ()
+              | Error _ -> Alcotest.failf "setup write to %s failed" name)
           | Error _ -> ())
         files;
       let snap = Fs.snapshot fs in
@@ -182,7 +185,10 @@ let test_andrew_executes_cleanly () =
   List.iter
     (fun (st : Andrew.step) ->
       let r = exec s st.Andrew.op in
-      if r = Bft_sm.Service.invalid || r = "ENOENT" || r = "EEXIST" then
+      if
+        String.equal r Bft_sm.Service.invalid || String.equal r "ENOENT"
+        || String.equal r "EEXIST"
+      then
         Alcotest.failf "step %s failed: %s" st.Andrew.op r)
     (Andrew.script ~scale:1 ~file_size:256 ());
   Alcotest.(check bool) "done" true true

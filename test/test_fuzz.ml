@@ -144,12 +144,7 @@ let test_shrinker_minimizes () =
         (Runner.failed (Runner.run_schedule p s)));
   let line = Runner.replay_line p shrunk in
   Alcotest.(check bool) "replay line names the seed" true
-    (let needle = Printf.sprintf "--seed %d" regression_seed in
-     let rec contains i =
-       i + String.length needle <= String.length line
-       && (String.sub line i (String.length needle) = needle || contains (i + 1))
-     in
-     contains 0)
+    (Bft_util.Strutil.contains_sub line (Printf.sprintf "--seed %d" regression_seed))
 
 let suites =
   [

@@ -16,10 +16,7 @@ let lint_fixture name =
   let path = Filename.concat "lint_fixtures" name in
   Lint.lint_source ~filename:path (read_file path)
 
-let contains hay sub =
-  let lh = String.length hay and ls = String.length sub in
-  let rec go i = i + ls <= lh && (String.equal (String.sub hay i ls) sub || go (i + 1)) in
-  go 0
+let contains = Bft_util.Strutil.contains_sub
 
 (* (fixture, does the assertion need the typed pass?, expected (rule, line)s).
    Fixtures that reference Unix do not typecheck against the initial env
@@ -61,6 +58,13 @@ let corpus =
         (Rule.domain_containment, 4);
       ] );
     ("allowed_suppress.ml", false, []);
+    (* interprocedural: the seed's syntactic report is allowed at its use
+       site, then laundered through two modules — only the whole-program
+       effect pass can flag the protocol-reachable root *)
+    ("bad_transitive_nondet.ml", true, [ (Rule.transitive_nondet, 13) ]);
+    (* the [ok] scratch-buffer case in the same file must stay silent *)
+    ("bad_pool_escape.ml", true, [ (Rule.pool_escape, 10) ]);
+    ("bad_mutable_global.ml", true, [ (Rule.mutable_global, 10) ]);
   ]
 
 let test_fixture (name, needs_typed, expected) () =
@@ -85,6 +89,79 @@ let test_catalogue_covered () =
         (List.exists (String.equal id) covered))
     Rule.ids
 
+(* the corpus and the on-disk fixture directory stay in sync: a fixture
+   nobody asserts on is dead weight, and a corpus entry without a file is
+   a typo the fixture tests would silently skip *)
+let test_corpus_matches_disk () =
+  let on_disk =
+    Sys.readdir "lint_fixtures" |> Array.to_list
+    |> List.filter (String.ends_with ~suffix:".ml")
+    |> List.sort String.compare
+  in
+  let in_corpus = List.sort String.compare (List.map (fun (n, _, _) -> n) corpus) in
+  Alcotest.(check (list string)) "fixture corpus = lint_fixtures/*.ml" on_disk in_corpus
+
+(* the --why witness: the exact call path from the flagged root to the
+   effect seed, outermost first, each hop carrying its source location *)
+let test_why_witness () =
+  let findings, typechecked = lint_fixture "bad_transitive_nondet.ml" in
+  (match typechecked with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "typed pass did not run: %s" e);
+  match findings with
+  | [ f ] ->
+      let file = "lint_fixtures/bad_transitive_nondet.ml" in
+      Alcotest.(check (list string))
+        "witness hops"
+        [
+          Printf.sprintf "handle_request (%s:13)" file;
+          Printf.sprintf "Jitter.next (%s:10)" file;
+          Printf.sprintf "Entropy.sample (%s:6)" file;
+          Printf.sprintf "Random (global PRNG state) (%s:6)" file;
+        ]
+        f.Finding.witness;
+      Alcotest.(check (list string))
+        "--why rendering"
+        [
+          Printf.sprintf "  why: handle_request (%s:13)" file;
+          Printf.sprintf "    -> Jitter.next (%s:10)" file;
+          Printf.sprintf "    -> Entropy.sample (%s:6)" file;
+          Printf.sprintf "    -> Random (global PRNG state) (%s:6)" file;
+        ]
+        (Finding.why_lines f)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+(* a malformed or unknown --allow spec must be a hard usage error, not a
+   warning the gate shrugs off (regression: it used to warn and exit 0) *)
+let test_parse_allow () =
+  let ok spec =
+    match Lint.parse_allow spec with
+    | Ok pr -> pr
+    | Error e -> Alcotest.failf "parse_allow %S: unexpected error %s" spec e
+  in
+  let err spec =
+    match Lint.parse_allow spec with
+    | Ok _ -> Alcotest.failf "parse_allow %S: expected an error" spec
+    | Error e -> e
+  in
+  Alcotest.(check (pair string string))
+    "well-formed" ("bench/", Rule.unix)
+    (ok ("bench/:" ^ Rule.unix));
+  Alcotest.(check bool) "no colon" true (contains (err "bench") "malformed");
+  Alcotest.(check bool) "empty prefix" true (contains (err (":" ^ Rule.unix)) "malformed");
+  Alcotest.(check bool) "empty rule" true (contains (err "bench/:") "malformed");
+  Alcotest.(check bool) "unknown rule" true (contains (err "bench/:not-a-rule") "unknown rule")
+
+let test_sarif_output () =
+  let findings, _ = lint_fixture "bad_transitive_nondet.ml" in
+  let sarif = Finding.list_to_sarif ~rules:Rule.all findings in
+  Alcotest.(check bool) "sarif version" true (contains sarif "\"version\": \"2.1.0\"");
+  Alcotest.(check bool) "names the rule" true
+    (contains sarif (Printf.sprintf "\"ruleId\": \"%s\"" Rule.transitive_nondet));
+  Alcotest.(check bool) "catalogue rules present" true
+    (List.for_all (fun (id, _, _) -> contains sarif (Printf.sprintf "\"id\": \"%s\"" id)) Rule.all);
+  Alcotest.(check bool) "witness rides in properties" true (contains sarif "\"witness\": [\"")
+
 let test_findings_carry_locations () =
   let findings, _ = lint_fixture "bad_unix.ml" in
   match findings with
@@ -101,12 +178,13 @@ let test_json_output () =
   Alcotest.(check bool) "names the rule" true (contains json Rule.unix)
 
 (* the merge gate: the repo's own sources (and their cmts, when built)
-   produce zero findings and zero errors *)
+   produce zero findings and zero errors — lib/ plus the bin/bench/test
+   drivers the @lint alias scans *)
 let test_repo_lints_clean () =
   if not (Sys.file_exists "../lib" && Sys.is_directory "../lib") then
     Alcotest.skip ()
   else begin
-    let run = Lint.lint_tree ~root:".." [ "lib" ] in
+    let run = Lint.lint_tree ~root:".." [ "lib"; "bin"; "bench"; "test" ] in
     List.iter (fun e -> Printf.eprintf "lint error: %s\n" e) run.Lint.errors;
     List.iter
       (fun f -> Printf.eprintf "finding: %s\n" (Finding.to_string f))
@@ -124,8 +202,12 @@ let suites =
         corpus
       @ [
           Alcotest.test_case "catalogue covered" `Quick test_catalogue_covered;
+          Alcotest.test_case "corpus matches disk" `Quick test_corpus_matches_disk;
+          Alcotest.test_case "why witness" `Quick test_why_witness;
+          Alcotest.test_case "parse --allow" `Quick test_parse_allow;
           Alcotest.test_case "finding locations" `Quick test_findings_carry_locations;
           Alcotest.test_case "json output" `Quick test_json_output;
+          Alcotest.test_case "sarif output" `Quick test_sarif_output;
         ] );
-    ("lint.repo", [ Alcotest.test_case "lib/ lints clean" `Quick test_repo_lints_clean ]);
+    ("lint.repo", [ Alcotest.test_case "tree lints clean" `Quick test_repo_lints_clean ]);
   ]

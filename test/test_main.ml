@@ -3,7 +3,7 @@
    must be wall-clock only). Env access is confined to entry points like
    this one; lib/ is lint-banned from getenv. *)
 let () =
-  (match Sys.getenv_opt "BFT_DOMAINS" with
+  (match (Sys.getenv_opt [@lint.allow "determinism-getenv"]) "BFT_DOMAINS" with
   | Some s -> (
       match int_of_string_opt s with
       | Some n when n >= 1 -> Bft_crypto.Vpool.set_default_domains n

@@ -83,7 +83,7 @@ let test_crash_restart () =
 let test_adversary () =
   let engine, net, inboxes = setup 3 in
   Network.set_adversary net (fun ~src:_ ~dst msg ->
-      if dst = 1 then `Drop else if msg = "slow" then `Delay 1000.0 else `Pass);
+      if dst = 1 then `Drop else if String.equal msg "slow" then `Delay 1000.0 else `Pass);
   Network.send net ~src:0 ~dst:1 ~size:1 "x";
   Network.send net ~src:0 ~dst:2 ~size:1 "slow";
   Engine.run engine;

@@ -30,6 +30,31 @@ let prop_percentile_monotone_and_bounded =
       ps = sorted
       && List.for_all (fun p -> p >= Bft_util.Stats.min s && p <= Bft_util.Stats.max s) ps)
 
+let test_strutil_contains_sub () =
+  let c = Bft_util.Strutil.contains_sub in
+  Alcotest.(check bool) "middle" true (c "abcdef" "cde");
+  Alcotest.(check bool) "prefix" true (c "abcdef" "abc");
+  Alcotest.(check bool) "suffix" true (c "abcdef" "def");
+  Alcotest.(check bool) "whole" true (c "abc" "abc");
+  Alcotest.(check bool) "absent" false (c "abcdef" "ace");
+  Alcotest.(check bool) "longer needle" false (c "ab" "abc");
+  Alcotest.(check bool) "empty needle" true (c "abc" "");
+  Alcotest.(check bool) "empty hay, empty needle" true (c "" "");
+  Alcotest.(check bool) "empty hay" false (c "" "a");
+  Alcotest.(check bool) "overlapping near-miss" true (c "aab" "ab")
+
+let prop_strutil_agrees_with_spec =
+  (* reference: substring occurs iff some window equals the needle *)
+  QCheck.Test.make ~name:"contains_sub agrees with window spec" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 20)) (string_of_size Gen.(0 -- 4)))
+    (fun (hay, sub) ->
+      let spec =
+        let lh = String.length hay and ls = String.length sub in
+        let rec go i = i + ls <= lh && (String.equal (String.sub hay i ls) sub || go (i + 1)) in
+        go 0
+      in
+      Bool.equal (Bft_util.Strutil.contains_sub hay sub) spec)
+
 let test_costs_helpers () =
   let c = Bft_net.Costs.default in
   Alcotest.(check (float 1e-9)) "digest fixed" c.Bft_net.Costs.digest_fixed_us
@@ -57,6 +82,11 @@ let suites =
         Alcotest.test_case "basic" `Quick test_stats_basic;
         Alcotest.test_case "empty" `Quick test_stats_empty;
         QCheck_alcotest.to_alcotest prop_percentile_monotone_and_bounded;
+      ] );
+    ( "util.strutil",
+      [
+        Alcotest.test_case "contains_sub" `Quick test_strutil_contains_sub;
+        QCheck_alcotest.to_alcotest prop_strutil_agrees_with_spec;
       ] );
     ( "net.costs",
       [

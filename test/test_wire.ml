@@ -99,7 +99,7 @@ let prop_encode_injective_on_requests =
     QCheck.(pair (pair small_string small_nat) (pair small_string small_nat))
     (fun ((op1, c1), (op2, c2)) ->
       let r1 = req ~op:op1 ~client:c1 () and r2 = req ~op:op2 ~client:c2 () in
-      if op1 = op2 && c1 = c2 then true
+      if String.equal op1 op2 && c1 = c2 then true
       else not (String.equal (Wire.encode (Request r1)) (Wire.encode (Request r2))))
 
 let prop_size_equals_encode_length =
